@@ -1,0 +1,174 @@
+//! Wall-time microbenchmarks of the library's hot paths: CRC-64,
+//! arena allocation, page-map updates, engine write/checkpoint cycles
+//! and metadata persistence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvm_chkpt::checksum::crc64;
+use nvm_chkpt::compress::{compress, decompress};
+use nvm_emu::StartGap;
+use nvm_chkpt::{CheckpointEngine, EngineConfig, Materialization};
+use nvm_emu::{MemoryDevice, SimDuration, VirtualClock};
+use nvm_heap::Arena;
+use nvm_paging::{MetadataRegion, PageMap, ProcessMetadata};
+use std::hint::black_box;
+
+const MB: usize = 1 << 20;
+
+fn bench_crc64(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc64");
+    for size in [4 * 1024, 64 * 1024, MB] {
+        let data = vec![0xA7u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| crc64(black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_arena(c: &mut Criterion) {
+    c.bench_function("arena_alloc_free_cycle", |b| {
+        let mut arena = Arena::new(256 * MB);
+        b.iter(|| {
+            let a = arena.alloc(black_box(4096)).unwrap();
+            let big = arena.alloc(black_box(MB)).unwrap();
+            arena.free(a);
+            arena.free(big);
+        })
+    });
+}
+
+fn bench_pagemap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pagemap");
+    // Uniform fast path: whole-chunk write on a huge map.
+    g.bench_function("full_write_100k_pages", |b| {
+        let mut m = PageMap::new(100_000);
+        b.iter(|| {
+            m.protect_all();
+            black_box(m.mark_written(0, 100_000))
+        })
+    });
+    // Mixed path: scattered partial writes.
+    g.bench_function("partial_writes_1k_pages", |b| {
+        let mut m = PageMap::new(1024);
+        b.iter(|| {
+            m.protect_all();
+            for i in 0..16 {
+                black_box(m.mark_written(i * 64, 1));
+            }
+            m.clear_dirty();
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_checkpoint_cycle");
+    for (name, mat) in [
+        ("materialized_4MB", Materialization::Bytes),
+        ("synthetic_400MB", Materialization::Synthetic),
+    ] {
+        g.bench_function(name, |b| {
+            let scale = if mat == Materialization::Bytes { 1 } else { 100 };
+            let dram = MemoryDevice::dram(scale * 16 * MB);
+            let nvm = MemoryDevice::pcm(scale * 16 * MB);
+            let cfg = EngineConfig::default()
+                .with_materialization(mat)
+                .with_checksums(mat == Materialization::Bytes);
+            let mut e = CheckpointEngine::new(
+                0,
+                &dram,
+                &nvm,
+                scale * 12 * MB,
+                VirtualClock::new(),
+                cfg,
+            )
+            .unwrap();
+            let id = e.nvmalloc("x", scale * 4 * MB, true).unwrap();
+            let payload = vec![1u8; 64 * 1024];
+            b.iter(|| {
+                if mat == Materialization::Bytes {
+                    e.write(id, 0, black_box(&payload)).unwrap();
+                } else {
+                    e.write_synthetic(id, 0, scale * 4 * MB).unwrap();
+                }
+                e.compute(SimDuration::from_secs(1));
+                black_box(e.nvchkptall().unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_metadata(c: &mut Criterion) {
+    c.bench_function("metadata_save_load_50_chunks", |b| {
+        let nvm = MemoryDevice::pcm(64 * MB);
+        let mut region = MetadataRegion::create(&nvm).unwrap();
+        let mut meta = ProcessMetadata::new(1);
+        for i in 0..50u64 {
+            meta.upsert(nvm_paging::ChunkRecord {
+                id: nvm_paging::ChunkId(i),
+                name: format!("chunk_{i}"),
+                len: 4096,
+                persistent: true,
+                versions: [Some((i * 8192, 4096)), Some((i * 8192 + 4096, 4096))],
+                committed_slot: Some((i % 2) as u8),
+                checksum: Some(i),
+                committed_epoch: i,
+            });
+        }
+        b.iter(|| {
+            region.save(black_box(&meta)).unwrap();
+            black_box(region.load().unwrap())
+        })
+    });
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rle");
+    let zeroish = {
+        let mut v = vec![0u8; MB];
+        for i in (0..v.len()).step_by(4096) {
+            v[i] = 1;
+        }
+        v
+    };
+    let random: Vec<u8> = (0..MB)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8)
+        .collect();
+    g.throughput(Throughput::Bytes(MB as u64));
+    g.bench_function("compress_zero_heavy_1MB", |b| {
+        b.iter(|| compress(black_box(&zeroish)))
+    });
+    g.bench_function("compress_random_1MB", |b| {
+        b.iter(|| compress(black_box(&random)))
+    });
+    let packed = compress(&zeroish);
+    g.bench_function("decompress_zero_heavy_1MB", |b| {
+        b.iter(|| decompress(black_box(&packed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_wear_leveler(c: &mut Criterion) {
+    c.bench_function("startgap_write_mapping", |b| {
+        let mut sg = StartGap::new(4097, 100);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % sg.logical_pages();
+            black_box(sg.write(i))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crc64,
+    bench_arena,
+    bench_pagemap,
+    bench_engine_cycle,
+    bench_metadata,
+    bench_compress,
+    bench_wear_leveler
+);
+criterion_main!(benches);

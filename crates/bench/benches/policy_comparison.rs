@@ -1,0 +1,69 @@
+//! Wall-time cost of simulating each pre-copy policy on a small
+//! cluster, plus the MADBench sink models — measures the *harness*
+//! itself, so regressions in simulation speed are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster_sim::{ClusterConfig, ClusterSim, UniformWorkload, Workload};
+use hpc_workloads::madbench::{run_madbench, MadBenchConfig};
+use nvm_chkpt::PrecopyPolicy;
+use nvm_emu::SimDuration;
+use ramdisk_baseline::{MemorySink, RamdiskSink};
+use std::hint::black_box;
+
+const MB: usize = 1 << 20;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sim_policy");
+    g.sample_size(20);
+    for policy in [
+        PrecopyPolicy::None,
+        PrecopyPolicy::Cpc,
+        PrecopyPolicy::Dcpc,
+        PrecopyPolicy::Dcpcp,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cfg = ClusterConfig::new(2, 2);
+                    cfg.container_bytes = 24 * MB;
+                    cfg.engine = cfg.engine.with_precopy(policy);
+                    cfg.local_interval = Some(SimDuration::from_secs(5));
+                    cfg.iterations = 6;
+                    let factory = |_: u64| -> Box<dyn Workload> {
+                        Box::new(UniformWorkload::new(
+                            4,
+                            2 * MB,
+                            SimDuration::from_secs(2),
+                            MB as u64,
+                        ))
+                    };
+                    black_box(ClusterSim::new(cfg, factory).unwrap().run().unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_madbench_sinks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("madbench_sinks");
+    let cfg = MadBenchConfig::with_data_mb(300);
+    g.bench_function("memory_model", |b| {
+        b.iter(|| {
+            let mut sink = MemorySink::new();
+            black_box(run_madbench(black_box(&cfg), &mut sink))
+        })
+    });
+    g.bench_function("ramdisk_model", |b| {
+        b.iter(|| {
+            let mut sink = RamdiskSink::new();
+            black_box(run_madbench(black_box(&cfg), &mut sink))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_madbench_sinks);
+criterion_main!(benches);

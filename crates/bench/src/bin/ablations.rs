@@ -1,0 +1,20 @@
+//! Run all design-choice ablations. `--quick` available.
+use nvm_bench::experiments::ablations;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let g = ablations::run_granularity(&scale);
+    ablations::render_granularity(&g).print();
+    write_json("ablation_granularity", &g);
+    let p = ablations::run_prediction(&scale);
+    ablations::render_prediction(&p).print();
+    write_json("ablation_prediction", &p);
+    let v = ablations::run_versioning(&scale);
+    ablations::render_versioning(&v).print();
+    write_json("ablation_versions", &v);
+    let s = ablations::run_serialized(&scale);
+    ablations::render_serialized(&s).print();
+    write_json("ablation_serialized_copy", &s);
+}

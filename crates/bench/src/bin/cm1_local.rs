@@ -1,0 +1,12 @@
+//! Regenerate the CM1 local-checkpoint result (Section VI text: <5%
+//! pre-copy benefit). `--quick` available.
+use nvm_bench::experiments::local;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = local::run("cm1", &scale);
+    local::render("CM1 local checkpoint (48 ranks)", &rows).print();
+    write_json("cm1_local", &rows);
+}

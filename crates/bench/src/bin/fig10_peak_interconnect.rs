@@ -1,0 +1,16 @@
+//! Regenerate Figure 10 (LAMMPS peak interconnect usage timeline).
+use nvm_bench::experiments::fig10;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::paper_remote()
+    };
+    let r = fig10::run(&scale);
+    fig10::render(&r).print();
+    println!("\n{}", fig10::summary(&r));
+    write_json("fig10_peak_interconnect", &r);
+}

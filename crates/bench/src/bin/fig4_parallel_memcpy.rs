@@ -1,0 +1,13 @@
+//! Regenerate Figure 4 (parallel memcpy bandwidth). Pass `--measure`
+//! to also run real copies on this host.
+use nvm_bench::experiments::fig4;
+use nvm_bench::report::write_json;
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+    let r = fig4::run(measure);
+    for t in fig4::render(&r) {
+        t.print();
+    }
+    write_json("fig4_parallel_memcpy", &r);
+}

@@ -1,0 +1,12 @@
+//! Regenerate Figure 7 (LAMMPS local checkpoint, pre-copy vs no
+//! pre-copy vs ramdisk). `--quick` for the reduced preset.
+use nvm_bench::experiments::local;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = local::run("lammps", &scale);
+    local::render("Figure 7 — LAMMPS local checkpoint (48 ranks)", &rows).print();
+    write_json("fig7_lammps_local", &rows);
+}

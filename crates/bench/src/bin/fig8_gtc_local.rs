@@ -1,0 +1,11 @@
+//! Regenerate Figure 8 (GTC local checkpoint). `--quick` available.
+use nvm_bench::experiments::local;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = local::run("gtc", &scale);
+    local::render("Figure 8 — GTC local checkpoint (48 ranks)", &rows).print();
+    write_json("fig8_gtc_local", &rows);
+}

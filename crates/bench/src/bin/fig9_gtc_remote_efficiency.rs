@@ -1,0 +1,22 @@
+//! Regenerate Figure 9 (GTC efficiency with remote checkpointing).
+use nvm_bench::experiments::fig9;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::paper_remote()
+    };
+    let rows = fig9::run(&scale);
+    fig9::render(&rows).print();
+    let (pre, nopre) = fig9::average_overheads(&rows);
+    println!(
+        "\naverage overhead: pre-copy {:.1}% vs no-pre-copy {:.1}% ({:.0}% reduction; paper: 6.2% vs 10.6%, ~40%)",
+        pre * 100.0,
+        nopre * 100.0,
+        (1.0 - pre / nopre) * 100.0
+    );
+    write_json("fig9_gtc_remote_efficiency", &rows);
+}

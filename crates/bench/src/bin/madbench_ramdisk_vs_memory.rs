@@ -1,0 +1,19 @@
+//! Regenerate the Section-IV MADBench2 motivation experiment. Pass
+//! `--real` to also measure real memcpy-vs-tmpfs on this host.
+use nvm_bench::experiments::madbench;
+use nvm_bench::report::write_json;
+
+fn main() {
+    let rows = madbench::run();
+    madbench::render("MADBench2 — ramdisk vs in-memory checkpoint (cost model)", &rows).print();
+    write_json("madbench_ramdisk_vs_memory", &rows);
+    if std::env::args().any(|a| a == "--real") {
+        let real = madbench::run_real();
+        if real.is_empty() {
+            eprintln!("real mode unavailable (no writable tmpfs)");
+        } else {
+            madbench::render("MADBench2 — measured on this host", &real).print();
+            write_json("madbench_real", &real);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Cross-validate the Section-III closed-form model against the
+//! simulator.
+use nvm_bench::experiments::model_val;
+use nvm_bench::report::write_json;
+
+fn main() {
+    let rows = model_val::run();
+    model_val::render(&rows).print();
+    write_json("model_validation", &rows);
+
+    // The Zheng et al. buddy-pair reliability figure the paper quotes
+    // in Section IV.
+    let p = cluster_sim::ReliabilityParams::zheng_ftc_charm();
+    println!(
+        "
+buddy-pair reliability (Zheng et al. configuration):          P(unrecoverable) = {:.6}% (paper quotes 0.000977%),          ~{:.0} recoverable single-node failures over the run",
+        cluster_sim::unrecoverable_probability(&p) * 100.0,
+        cluster_sim::expected_failures(&p),
+    );
+}

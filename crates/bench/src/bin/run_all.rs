@@ -1,0 +1,106 @@
+//! Run every experiment in sequence and emit all tables + JSON.
+//! `--quick` runs the reduced presets (CI-friendly).
+use nvm_bench::experiments::*;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let remote_scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper_remote()
+    };
+
+    println!("# NVM-checkpoints — full experiment suite ({})",
+             if quick { "quick preset" } else { "paper preset" });
+
+    let t1 = table1::run();
+    table1::render(&t1).print();
+    write_json("table1_device_params", &t1);
+
+    let f4 = fig4::run(false);
+    for t in fig4::render(&f4) {
+        t.print();
+    }
+    write_json("fig4_parallel_memcpy", &f4);
+
+    let mad = madbench::run();
+    madbench::render("MADBench2 — ramdisk vs in-memory checkpoint (cost model)", &mad).print();
+    write_json("madbench_ramdisk_vs_memory", &mad);
+
+    let t4 = table4::run();
+    table4::render(&t4).print();
+    write_json("table4_chunk_distribution", &t4);
+
+    for (fig, app, title) in [
+        ("fig7_lammps_local", "lammps", "Figure 7 — LAMMPS local checkpoint"),
+        ("fig8_gtc_local", "gtc", "Figure 8 — GTC local checkpoint"),
+        ("cm1_local", "cm1", "CM1 local checkpoint"),
+    ] {
+        let rows = local::run(app, &scale);
+        local::render(title, &rows).print();
+        write_json(fig, &rows);
+    }
+
+    let f9 = fig9::run(&remote_scale);
+    fig9::render(&f9).print();
+    let (pre, nopre) = fig9::average_overheads(&f9);
+    println!(
+        "\naverage overhead: pre-copy {:.1}% vs no-pre-copy {:.1}% ({:.0}% reduction)",
+        pre * 100.0,
+        nopre * 100.0,
+        (1.0 - pre / nopre) * 100.0
+    );
+    write_json("fig9_gtc_remote_efficiency", &f9);
+
+    let f10 = fig10::run(&remote_scale);
+    fig10::render(&f10).print();
+    println!("\n{}", fig10::summary(&f10));
+    write_json("fig10_peak_interconnect", &f10);
+
+    let t5 = table5::run(&remote_scale);
+    table5::render(&t5).print();
+    write_json("table5_helper_cpu", &t5);
+
+    let mv = model_val::run();
+    model_val::render(&mv).print();
+    write_json("model_validation", &mv);
+    let rel = cluster_sim::ReliabilityParams::zheng_ftc_charm();
+    println!(
+        "\nbuddy-pair reliability (Zheng et al. configuration): P(unrecoverable) = {:.6}% \
+(paper quotes 0.000977%), ~{:.0} recoverable single-node failures over the run",
+        cluster_sim::unrecoverable_probability(&rel) * 100.0,
+        cluster_sim::expected_failures(&rel),
+    );
+
+    let g = ablations::run_granularity(&scale);
+    ablations::render_granularity(&g).print();
+    write_json("ablation_granularity", &g);
+    let p = ablations::run_prediction(&scale);
+    ablations::render_prediction(&p).print();
+    write_json("ablation_prediction", &p);
+    let v = ablations::run_versioning(&scale);
+    ablations::render_versioning(&v).print();
+    write_json("ablation_versions", &v);
+    let s = ablations::run_serialized(&scale);
+    ablations::render_serialized(&s).print();
+    write_json("ablation_serialized_copy", &s);
+
+    let restart = extensions::run_restart();
+    let compression = extensions::run_compression();
+    let redundancy = extensions::run_redundancy();
+    let wear = extensions::run_wear();
+    let energy = extensions::run_energy();
+    for t in extensions::render(&restart, &compression, &redundancy, &wear, &energy) {
+        t.print();
+    }
+    write_json("ext_restart_strategies", &restart);
+    write_json("ext_compression", &compression);
+    write_json("ext_redundancy", &redundancy);
+    write_json("ext_wear_leveling", &wear);
+    write_json("ext_energy", &energy);
+
+    println!("\nJSON written to experiments/ at the workspace root.");
+}

@@ -1,0 +1,9 @@
+//! Regenerate Table I (device parameters, model + measured).
+use nvm_bench::experiments::table1;
+use nvm_bench::report::write_json;
+
+fn main() {
+    let rows = table1::run();
+    table1::render(&rows).print();
+    write_json("table1_device_params", &rows);
+}

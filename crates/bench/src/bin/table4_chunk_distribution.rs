@@ -1,0 +1,9 @@
+//! Regenerate Table IV (chunk size distributions).
+use nvm_bench::experiments::table4;
+use nvm_bench::report::write_json;
+
+fn main() {
+    let rows = table4::run();
+    table4::render(&rows).print();
+    write_json("table4_chunk_distribution", &rows);
+}

@@ -1,0 +1,15 @@
+//! Regenerate Table V (helper core CPU utilization).
+use nvm_bench::experiments::table5;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::paper_remote()
+    };
+    let rows = table5::run(&scale);
+    table5::render(&rows).print();
+    write_json("table5_helper_cpu", &rows);
+}

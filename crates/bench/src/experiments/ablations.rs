@@ -1,0 +1,295 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **Protection granularity** — chunk-level (the paper's choice) vs
+//!    page-level protection: page granularity storms the fault handler
+//!    when checkpoint data fully changes (6-12 µs per fault, ~3 s/GB).
+//! 2. **Prediction** — CPC vs DCPC vs DCPCP: what the delay and the
+//!    prediction table each buy in wasted (re-copied) pre-copy bytes.
+//! 3. **Versioning** — double vs single NVM versions: space cost of
+//!    crash consistency.
+//! 4. **Serialized checkpoint core** (Dong et al.) — one dedicated
+//!    core copying all ranks' data serially vs every core copying its
+//!    own data in parallel under contention.
+
+use crate::experiments::{cluster_config, make_app};
+use crate::report::Table;
+use crate::scale::Scale;
+use cluster_sim::ClusterSim;
+use nvm_chkpt::{
+    CheckpointEngine, EngineConfig, Granularity, Materialization, PrecopyPolicy, Versioning,
+};
+use nvm_emu::{MemoryDevice, VirtualClock};
+use serde::Serialize;
+
+/// Granularity ablation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct GranularityRow {
+    /// Chunk or page protection.
+    pub granularity: String,
+    /// Total execution time, s.
+    pub total_s: f64,
+    /// Protection faults taken.
+    pub faults: u64,
+    /// Time lost to fault handling, s.
+    pub fault_time_s: f64,
+}
+
+/// Run the granularity ablation on LAMMPS.
+pub fn run_granularity(scale: &Scale) -> Vec<GranularityRow> {
+    [Granularity::Chunk, Granularity::Page]
+        .iter()
+        .map(|&g| {
+            let mut cfg = cluster_config(scale, PrecopyPolicy::Cpc);
+            cfg.engine = cfg.engine.with_granularity(g);
+            let r = ClusterSim::new(cfg, |_| make_app("lammps", scale))
+                .expect("sim")
+                .run()
+                .expect("run");
+            GranularityRow {
+                granularity: format!("{g:?}"),
+                total_s: r.total_time.as_secs_f64(),
+                faults: r.engine_stats.faults,
+                fault_time_s: r.engine_stats.fault_time.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Prediction ablation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct PredictionRow {
+    /// Policy name.
+    pub policy: String,
+    /// Total execution time, s.
+    pub total_s: f64,
+    /// Wasted (re-copied) pre-copy bytes per rank, MB.
+    pub wasted_mb: f64,
+    /// Total data moved to NVM per rank, MB.
+    pub moved_mb: f64,
+}
+
+/// Run the prediction ablation on LAMMPS (its hot chunk is the point).
+pub fn run_prediction(scale: &Scale) -> Vec<PredictionRow> {
+    [
+        PrecopyPolicy::Cpc,
+        PrecopyPolicy::Dcpc,
+        PrecopyPolicy::Dcpcp,
+    ]
+    .iter()
+    .map(|&p| {
+        let cfg = cluster_config(scale, p);
+        let r = ClusterSim::new(cfg, |_| make_app("lammps", scale))
+            .expect("sim")
+            .run()
+            .expect("run");
+        let ranks = scale.total_ranks() as f64;
+        let mb = (1 << 20) as f64;
+        PredictionRow {
+            policy: format!("{p:?}"),
+            total_s: r.total_time.as_secs_f64(),
+            wasted_mb: r.engine_stats.wasted_precopy_bytes as f64 / ranks / mb,
+            moved_mb: r.engine_stats.total_copied_bytes() as f64 / ranks / mb,
+        }
+    })
+    .collect()
+}
+
+/// Versioning ablation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct VersioningRow {
+    /// Single or double.
+    pub versioning: String,
+    /// NVM bytes reserved for shadow versions, MB.
+    pub nvm_mb: f64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+}
+
+/// Run the versioning ablation on a single LAMMPS rank.
+pub fn run_versioning(scale: &Scale) -> Vec<VersioningRow> {
+    [Versioning::Double, Versioning::Single]
+        .iter()
+        .map(|&v| {
+            let dram = MemoryDevice::dram(2 << 30);
+            let nvm = MemoryDevice::pcm(4 << 30);
+            let clock = VirtualClock::new();
+            let cfg = EngineConfig::default()
+                .with_materialization(Materialization::Synthetic)
+                .with_checksums(false)
+                .with_versioning(v);
+            let mut engine = CheckpointEngine::new(
+                0,
+                &dram,
+                &nvm,
+                scale.container_bytes(),
+                clock,
+                cfg,
+            )
+            .expect("engine");
+            let mut app = make_app("lammps", scale);
+            app.setup(&mut engine).expect("setup");
+            for i in 0..4 {
+                app.iterate(&mut engine, i).expect("iter");
+                engine.nvchkptall().expect("ckpt");
+            }
+            VersioningRow {
+                versioning: format!("{v:?}"),
+                nvm_mb: engine.heap().arena_stats().allocated as f64 / (1 << 20) as f64,
+                checkpoints: engine.epoch(),
+            }
+        })
+        .collect()
+}
+
+/// Serialized-copy ablation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct SerializedRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Time to drain one coordinated node checkpoint, s.
+    pub drain_s: f64,
+}
+
+/// Compare parallel contended copying (all ranks at once) with a
+/// dedicated single checkpoint core copying every rank's data serially
+/// (Dong et al.'s design, which the paper argues against for small
+/// checkpoint sizes).
+pub fn run_serialized(scale: &Scale) -> Vec<SerializedRow> {
+    let nvm = MemoryDevice::pcm(1 << 30);
+    let per_rank_bytes = (433.0 * scale.size_scale * (1 << 20) as f64) as u64;
+    let ranks = scale.ranks_per_node;
+    // Parallel: every rank copies its own data, sharing the device.
+    let bw_parallel = nvm.per_core_bandwidth(ranks, 32 << 20);
+    let parallel_s = per_rank_bytes as f64 / bw_parallel;
+    // Serialized: one core copies rank after rank at single-stream bw.
+    let bw_single = nvm.per_core_bandwidth(1, 32 << 20);
+    let serial_s = (per_rank_bytes * ranks as u64) as f64 / bw_single;
+    vec![
+        SerializedRow {
+            scheme: format!("parallel ({ranks} contended cores)"),
+            drain_s: parallel_s,
+        },
+        SerializedRow {
+            scheme: "serialized (1 dedicated core)".to_string(),
+            drain_s: serial_s,
+        },
+    ]
+}
+
+/// Render helpers.
+pub fn render_granularity(rows: &[GranularityRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation — chunk vs page protection granularity (LAMMPS)",
+        &["Granularity", "Total (s)", "Faults", "Fault time (s)"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.granularity.clone(),
+            format!("{:.1}", r.total_s),
+            r.faults.to_string(),
+            format!("{:.3}", r.fault_time_s),
+        ]);
+    }
+    t
+}
+
+/// Render the prediction ablation.
+pub fn render_prediction(rows: &[PredictionRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation — pre-copy policy (LAMMPS hot chunks)",
+        &["Policy", "Total (s)", "Wasted (MB/rank)", "Moved (MB/rank)"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.policy.clone(),
+            format!("{:.1}", r.total_s),
+            format!("{:.1}", r.wasted_mb),
+            format!("{:.1}", r.moved_mb),
+        ]);
+    }
+    t
+}
+
+/// Render the versioning ablation.
+pub fn render_versioning(rows: &[VersioningRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation — single vs double NVM versions (one LAMMPS rank)",
+        &["Versioning", "NVM reserved (MB)", "Checkpoints"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.versioning.clone(),
+            format!("{:.0}", r.nvm_mb),
+            r.checkpoints.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Render the serialized-copy ablation.
+pub fn render_serialized(rows: &[SerializedRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation — parallel contended copy vs dedicated serial checkpoint core",
+        &["Scheme", "Node drain time (s)"],
+    );
+    for r in rows {
+        t.row(vec![r.scheme.clone(), format!("{:.2}", r.drain_s)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_granularity_faults_far_more() {
+        let scale = Scale::quick();
+        let rows = run_granularity(&scale);
+        assert_eq!(rows.len(), 2);
+        let chunk = &rows[0];
+        let page = &rows[1];
+        assert!(
+            page.faults > 10 * chunk.faults,
+            "page {} vs chunk {}",
+            page.faults,
+            chunk.faults
+        );
+        assert!(page.fault_time_s > chunk.fault_time_s);
+    }
+
+    #[test]
+    fn dcpcp_wastes_least() {
+        let scale = Scale::quick();
+        let rows = run_prediction(&scale);
+        let cpc = &rows[0];
+        let dcpcp = &rows[2];
+        assert!(
+            dcpcp.wasted_mb <= cpc.wasted_mb,
+            "DCPCP {} MB vs CPC {} MB wasted",
+            dcpcp.wasted_mb,
+            cpc.wasted_mb
+        );
+    }
+
+    #[test]
+    fn single_versioning_halves_nvm_space() {
+        let scale = Scale::quick();
+        let rows = run_versioning(&scale);
+        let double = &rows[0];
+        let single = &rows[1];
+        let ratio = double.nvm_mb / single.nvm_mb;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+        assert_eq!(double.checkpoints, 4);
+    }
+
+    #[test]
+    fn serialization_is_slower_for_moderate_sizes() {
+        let scale = Scale::quick();
+        let rows = run_serialized(&scale);
+        assert!(
+            rows[1].drain_s > rows[0].drain_s,
+            "serialized must lose: {rows:?}"
+        );
+    }
+}

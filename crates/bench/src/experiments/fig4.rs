@@ -1,0 +1,106 @@
+//! Figure 4 — per-core memcpy bandwidth vs concurrent process count
+//! (the LANL parallel-memcpy benchmark).
+//!
+//! Emits the model curve used by the simulation at several buffer
+//! sizes, and optionally a *real* measured curve on the host machine.
+
+use crate::report::Table;
+use hpc_workloads::memprobe::{measure_parallel_memcpy, model_curve, MemcpyPoint};
+use nvm_emu::{BandwidthModel, DeviceParams};
+use serde::Serialize;
+
+/// Full Figure-4 output.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4Result {
+    /// Model curves per buffer size: `(buffer_bytes, points)`.
+    pub dram_model: Vec<(usize, Vec<MemcpyPoint>)>,
+    /// The scaled NVM (PCM) curve.
+    pub nvm_model: Vec<MemcpyPoint>,
+    /// Real host measurement, if requested.
+    pub measured: Option<Vec<MemcpyPoint>>,
+}
+
+/// Run the experiment. `measure` additionally runs real copies on the
+/// host (a few hundred MB of traffic).
+pub fn run(measure: bool) -> Fig4Result {
+    let dram = BandwidthModel::lanl_dram();
+    let sizes = [1 << 20, 33 << 20, 128 << 20];
+    let dram_model = sizes
+        .iter()
+        .map(|&s| (s, model_curve(&dram, 12, s)))
+        .collect();
+    let nvm = BandwidthModel::for_device(&DeviceParams::pcm());
+    let nvm_model = model_curve(&nvm, 12, 33 << 20);
+    let measured = measure.then(|| {
+        let max_threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(12))
+            .unwrap_or(4);
+        (1..=max_threads)
+            .map(|t| measure_parallel_memcpy(t, 8 << 20, 16))
+            .collect()
+    });
+    Fig4Result {
+        dram_model,
+        nvm_model,
+        measured,
+    }
+}
+
+/// Render the Figure-4 series.
+pub fn render(r: &Fig4Result) -> Vec<Table> {
+    let mb = (1 << 20) as f64;
+    let mut tables = Vec::new();
+    let mut t = Table::new(
+        "Figure 4 — per-core memcpy bandwidth vs concurrent processes (model)",
+        &[
+            "Processes",
+            "DRAM 1MB (MB/s)",
+            "DRAM 33MB (MB/s)",
+            "DRAM 128MB (MB/s)",
+            "PCM 33MB (MB/s)",
+        ],
+    );
+    for i in 0..12 {
+        t.row(vec![
+            (i + 1).to_string(),
+            format!("{:.0}", r.dram_model[0].1[i].per_core_bw / mb),
+            format!("{:.0}", r.dram_model[1].1[i].per_core_bw / mb),
+            format!("{:.0}", r.dram_model[2].1[i].per_core_bw / mb),
+            format!("{:.0}", r.nvm_model[i].per_core_bw / mb),
+        ]);
+    }
+    tables.push(t);
+    if let Some(m) = &r.measured {
+        let mut t = Table::new(
+            "Figure 4 — measured on this host (8 MB buffers)",
+            &["Threads", "Per-core (MB/s)", "Aggregate (MB/s)"],
+        );
+        for p in m {
+            t.row(vec![
+                p.threads.to_string(),
+                format!("{:.0}", p.per_core_bw / mb),
+                format!("{:.0}", p.aggregate_bw / mb),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reduction_matches_figure4() {
+        let r = run(false);
+        let curve = &r.dram_model[1].1; // 33 MB
+        let ratio = curve[11].per_core_bw / curve[0].per_core_bw;
+        assert!((ratio - 0.33).abs() < 0.01, "67% reduction at 12 cores");
+        // PCM per-core at 12 cores lands in the paper's ~400 MB/s zone.
+        let nvm12 = r.nvm_model[11].per_core_bw;
+        assert!((3.5e8..6.0e8).contains(&nvm12), "nvm12={nvm12:e}");
+        assert!(r.measured.is_none());
+        assert_eq!(render(&r).len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Section-IV motivation experiment — MADBench2: ramdisk vs in-memory
+//! checkpointing, 50-300 MB per core.
+//!
+//! Expected shape (the paper's measurements): the ramdisk path is
+//! slower at every size, the absolute gap widens with size, reaching
+//! ~46% at 300 MB, with 3x the kernel synchronization calls and 31%
+//! more lock-wait time.
+
+use crate::report::Table;
+use hpc_workloads::madbench::{run_madbench, MadBenchConfig};
+use hpc_workloads::CheckpointSink;
+use ramdisk_baseline::{ramdisk_dir, MemorySink, RamdiskSink, RealMemorySink, RealRamdiskSink};
+use serde::Serialize;
+
+/// One sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct MadRow {
+    /// Checkpoint size per core, MB.
+    pub data_mb: usize,
+    /// In-memory checkpoint time per phase, ms.
+    pub memory_ms: f64,
+    /// Ramdisk checkpoint time per phase, ms.
+    pub ramdisk_ms: f64,
+    /// Ramdisk slowdown vs memory (1.0 = equal).
+    pub slowdown: f64,
+    /// Kernel-sync-call ratio (ramdisk / memory).
+    pub sync_ratio: f64,
+    /// Lock-wait ratio (ramdisk / memory).
+    pub lock_ratio: f64,
+}
+
+/// Run the model-based sweep (the paper's 50-300 MB range).
+pub fn run() -> Vec<MadRow> {
+    [50usize, 100, 150, 200, 250, 300]
+        .iter()
+        .map(|&mb| {
+            let cfg = MadBenchConfig::with_data_mb(mb);
+            let mut mem = MemorySink::new();
+            let mut rd = RamdiskSink::new();
+            let rm = run_madbench(&cfg, &mut mem);
+            let rr = run_madbench(&cfg, &mut rd);
+            MadRow {
+                data_mb: mb,
+                memory_ms: rm.checkpoint_time.as_secs_f64() * 1e3 / cfg.phases as f64,
+                ramdisk_ms: rr.checkpoint_time.as_secs_f64() * 1e3 / cfg.phases as f64,
+                slowdown: rr.checkpoint_time.as_secs_f64() / rm.checkpoint_time.as_secs_f64(),
+                sync_ratio: rr.kernel_sync_calls as f64 / rm.kernel_sync_calls as f64,
+                lock_ratio: rr.lock_wait.as_secs_f64() / rm.lock_wait.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Run the same comparison with *real* copies/writes on this host.
+/// Sizes are reduced (up to 64 MB) to keep runtime sane.
+pub fn run_real() -> Vec<MadRow> {
+    let sizes = [8usize, 16, 32, 64];
+    let max = 64 << 20;
+    let mut mem = RealMemorySink::new(max);
+    let mut rd = match RealRamdiskSink::new(max, ramdisk_dir()) {
+        Ok(s) => s,
+        Err(_) => return Vec::new(),
+    };
+    // Warm up both paths.
+    mem.checkpoint(max);
+    rd.checkpoint(max);
+    sizes
+        .iter()
+        .map(|&mb| {
+            let bytes = mb << 20;
+            let reps = 5;
+            let tm: f64 = (0..reps)
+                .map(|_| mem.checkpoint(bytes).as_secs_f64())
+                .sum::<f64>()
+                / reps as f64;
+            let tr: f64 = (0..reps)
+                .map(|_| rd.checkpoint(bytes).as_secs_f64())
+                .sum::<f64>()
+                / reps as f64;
+            MadRow {
+                data_mb: mb,
+                memory_ms: tm * 1e3,
+                ramdisk_ms: tr * 1e3,
+                slowdown: tr / tm,
+                sync_ratio: 0.0,
+                lock_ratio: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Render rows.
+pub fn render(title: &str, rows: &[MadRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "Data/core (MB)",
+            "Memory (ms)",
+            "Ramdisk (ms)",
+            "Slowdown",
+            "Sync-call ratio",
+            "Lock-wait ratio",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.data_mb.to_string(),
+            format!("{:.2}", r.memory_ms),
+            format!("{:.2}", r.ramdisk_ms),
+            format!("{:.2}x", r.slowdown),
+            format!("{:.2}x", r.sync_ratio),
+            format!("{:.2}x", r.lock_ratio),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sweep_matches_paper_headlines() {
+        let rows = run();
+        assert_eq!(rows.len(), 6);
+        let r300 = rows.last().unwrap();
+        assert!(
+            (1.40..1.52).contains(&r300.slowdown),
+            "46% at 300 MB, got {:.2}",
+            r300.slowdown
+        );
+        assert!((2.8..3.3).contains(&r300.sync_ratio));
+        assert!((r300.lock_ratio - 1.31).abs() < 0.02);
+        // Absolute gap widens monotonically.
+        let gaps: Vec<f64> = rows.iter().map(|r| r.ramdisk_ms - r.memory_ms).collect();
+        assert!(gaps.windows(2).all(|w| w[1] > w[0]), "{gaps:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Table I — NVM vs DRAM hardware parameters, plus measured latencies
+//! of the emulated devices (sanity check that the emulation charges
+//! what the table says).
+
+use crate::report::Table;
+use nvm_emu::{DeviceParams, MemoryDevice, PAGE_SIZE};
+use serde::Serialize;
+
+/// One device row.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeviceRow {
+    /// Device name.
+    pub device: String,
+    /// Write bandwidth GB/s.
+    pub write_bw_gb: f64,
+    /// Configured page write latency, ns.
+    pub page_write_ns: u64,
+    /// Configured page read latency, ns.
+    pub page_read_ns: u64,
+    /// Measured one-page write cost on the emulated device, ns.
+    pub measured_write_ns: u64,
+    /// Measured one-page read cost, ns.
+    pub measured_read_ns: u64,
+    /// Write endurance.
+    pub endurance: u64,
+    /// Relative write energy per bit.
+    pub energy_x: f64,
+}
+
+/// Run the Table-I experiment.
+pub fn run() -> Vec<DeviceRow> {
+    let mut rows = Vec::new();
+    for (name, params) in [("DRAM", DeviceParams::dram()), ("PCM", DeviceParams::pcm())] {
+        let dev = MemoryDevice::new(params, 16 << 20);
+        let r = dev.alloc(PAGE_SIZE).unwrap();
+        let wcost = dev.write(r, 0, &[0xAB; PAGE_SIZE], 1).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        let rcost = dev.read(r, 0, &mut buf, 1).unwrap();
+        rows.push(DeviceRow {
+            device: name.to_string(),
+            write_bw_gb: params.write_bandwidth / 1e9,
+            page_write_ns: params.page_write_latency.as_nanos(),
+            page_read_ns: params.page_read_latency.as_nanos(),
+            measured_write_ns: wcost.as_nanos(),
+            measured_read_ns: rcost.as_nanos(),
+            endurance: params.write_endurance,
+            energy_x: params.write_energy_pj_per_bit,
+        });
+    }
+    rows
+}
+
+/// Render the rows as the paper's Table I.
+pub fn render(rows: &[DeviceRow]) -> Table {
+    let mut t = Table::new(
+        "Table I — NVM vs DRAM hardware performance (model + measured)",
+        &[
+            "Device",
+            "Write BW (GB/s)",
+            "Page write (ns)",
+            "Page read (ns)",
+            "Measured write (ns)",
+            "Measured read (ns)",
+            "Endurance",
+            "Energy/bit (x)",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.device.clone(),
+            format!("{:.1}", r.write_bw_gb),
+            r.page_write_ns.to_string(),
+            r.page_read_ns.to_string(),
+            r.measured_write_ns.to_string(),
+            r.measured_read_ns.to_string(),
+            format!("{:e}", r.endurance as f64),
+            format!("{:.0}", r.energy_x),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_paper_ratios() {
+        let rows = run();
+        assert_eq!(rows.len(), 2);
+        let dram = &rows[0];
+        let pcm = &rows[1];
+        assert!((dram.write_bw_gb / pcm.write_bw_gb - 4.0).abs() < 0.01);
+        assert_eq!(pcm.page_write_ns, 1000);
+        assert!(pcm.measured_write_ns >= pcm.page_write_ns);
+        assert!(dram.measured_write_ns < pcm.measured_write_ns);
+        assert!((pcm.energy_x - 40.0).abs() < 1e-9);
+        assert!(!render(&rows).is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+//! Benchmark harness for the NVM-checkpoints reproduction.
+//!
+//! Each paper table/figure has a module under [`experiments`] exposing
+//! `run(...)` (serializable rows) and `render(...)` (markdown table),
+//! plus a thin binary under `src/bin/`. `run_all` executes everything
+//! and drops JSON into `experiments/` at the workspace root.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod scale;

@@ -1,0 +1,102 @@
+//! Experiment scale presets.
+//!
+//! Every experiment runs at one of two scales:
+//!
+//! * **paper** — the evaluation setup of the paper: 8 nodes x 12
+//!   cores, full per-core checkpoint sizes (~400-433 MB), 40 s local
+//!   checkpoint interval. All time is virtual, so this completes in
+//!   seconds of wall time.
+//! * **quick** — a scaled-down variant (fewer ranks, a few percent of
+//!   the data size) for smoke runs and CI.
+//!
+//! Binaries accept `--quick` to select the small preset.
+
+use nvm_emu::SimDuration;
+
+/// Scale preset for cluster experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Cluster nodes.
+    pub nodes: usize,
+    /// Ranks per node.
+    pub ranks_per_node: usize,
+    /// Chunk-size scale relative to the paper (1.0 = full size).
+    pub size_scale: f64,
+    /// Iterations to run.
+    pub iterations: u64,
+    /// Compute time per iteration.
+    pub compute_per_iter: SimDuration,
+    /// Local checkpoint interval (the paper sets 40 s).
+    pub local_interval: SimDuration,
+}
+
+impl Scale {
+    /// The paper's evaluation scale.
+    pub fn paper() -> Self {
+        Scale {
+            nodes: 4,
+            ranks_per_node: 12, // 48 MPI processes, as in Figs. 7/8
+            size_scale: 1.0,
+            iterations: 24,
+            compute_per_iter: SimDuration::from_secs(10),
+            local_interval: SimDuration::from_secs(40),
+        }
+    }
+
+    /// The 8-node remote-checkpoint scale (Figs. 9/10, Table V).
+    pub fn paper_remote() -> Self {
+        Scale {
+            nodes: 8,
+            ..Self::paper()
+        }
+    }
+
+    /// Small smoke-test scale.
+    pub fn quick() -> Self {
+        Scale {
+            nodes: 2,
+            ranks_per_node: 2,
+            size_scale: 0.05,
+            iterations: 8,
+            compute_per_iter: SimDuration::from_secs(5),
+            local_interval: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Pick a preset from process args: `--quick` selects the small
+    /// one.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::paper()
+        }
+    }
+
+    /// Container bytes per rank needed for this scale (two version
+    /// slots for ~440 MB of chunks, plus allocator slack).
+    pub fn container_bytes(&self) -> usize {
+        let data = (460.0 * self.size_scale * (1 << 20) as f64) as usize;
+        data * 2 + (8 << 20)
+    }
+
+    /// Total ranks.
+    pub fn total_ranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let p = Scale::paper();
+        assert_eq!(p.total_ranks(), 48);
+        assert_eq!(Scale::paper_remote().total_ranks(), 96);
+        let q = Scale::quick();
+        assert!(q.container_bytes() < p.container_bytes());
+        assert!(q.size_scale < 1.0);
+    }
+}

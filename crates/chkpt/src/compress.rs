@@ -1,0 +1,251 @@
+//! Checkpoint compression (extension).
+//!
+//! The paper's related work (Islam et al., mcrEngine) shows that
+//! checkpoint aggregation + compression meaningfully shrinks data
+//! movement; HPC checkpoint arrays are often zero-heavy or piecewise
+//! constant, which simple run-length encoding captures at memory-bus
+//! speed. This module provides:
+//!
+//! * a byte-exact RLE codec ([`compress`]/[`decompress`]) with a
+//!   worst-case expansion below 0.4%,
+//! * a [`CompressionModel`] charging virtual time for the CPU cost,
+//!   so remote-checkpoint experiments can trade wire bytes for helper
+//!   cycles.
+//!
+//! Format: a sequence of ops — `[n >= 1][n literal bytes]` or
+//! `[0x00][len: u16 LE][byte]` for runs of 4 or more equal bytes.
+
+use nvm_emu::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Minimum run length worth encoding (shorter runs go out as
+/// literals: a run op costs 4 bytes).
+const MIN_RUN: usize = 4;
+/// Longest run one op can carry.
+const MAX_RUN: usize = u16::MAX as usize;
+/// Longest literal block one op can carry.
+const MAX_LIT: usize = 255;
+
+/// Compress `data` with RLE.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut i = 0;
+    let mut lit_start = 0;
+    while i < data.len() {
+        // Measure the run at i.
+        let b = data[i];
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == b && run < MAX_RUN {
+            run += 1;
+        }
+        if run >= MIN_RUN {
+            flush_literals(&mut out, &data[lit_start..i]);
+            out.push(0x00);
+            out.extend_from_slice(&(run as u16).to_le_bytes());
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, &data[lit_start..]);
+    out
+}
+
+fn flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    for block in lits.chunks(MAX_LIT) {
+        out.push(block.len() as u8);
+        out.extend_from_slice(block);
+    }
+}
+
+/// Errors from [`decompress`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompressError {
+    /// The stream ended inside an op.
+    Truncated,
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Truncated => write!(f, "truncated RLE stream"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Decompress an RLE stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let op = data[i];
+        i += 1;
+        if op == 0x00 {
+            if i + 3 > data.len() {
+                return Err(CompressError::Truncated);
+            }
+            let len = u16::from_le_bytes([data[i], data[i + 1]]) as usize;
+            let b = data[i + 2];
+            i += 3;
+            out.resize(out.len() + len, b);
+        } else {
+            let n = op as usize;
+            if i + n > data.len() {
+                return Err(CompressError::Truncated);
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        }
+    }
+    Ok(out)
+}
+
+/// CPU cost model for the codec.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompressionModel {
+    /// Compression throughput, input bytes/s.
+    pub compress_bw: f64,
+    /// Decompression throughput, output bytes/s.
+    pub decompress_bw: f64,
+}
+
+impl Default for CompressionModel {
+    fn default() -> Self {
+        CompressionModel {
+            compress_bw: 1.5e9,
+            decompress_bw: 3.0e9,
+        }
+    }
+}
+
+impl CompressionModel {
+    /// Virtual time to compress `bytes` of input.
+    pub fn compress_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_transfer(bytes, self.compress_bw)
+    }
+
+    /// Virtual time to decompress to `bytes` of output.
+    pub fn decompress_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_transfer(bytes, self.decompress_bw)
+    }
+}
+
+/// Aggregate compression accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Input bytes seen.
+    pub in_bytes: u64,
+    /// Output bytes produced.
+    pub out_bytes: u64,
+}
+
+impl CompressionStats {
+    /// Record one compression.
+    pub fn record(&mut self, input: usize, output: usize) {
+        self.in_bytes += input as u64;
+        self.out_bytes += output as u64;
+    }
+
+    /// Output/input ratio (1.0 = incompressible, lower is better).
+    pub fn ratio(&self) -> f64 {
+        if self.in_bytes == 0 {
+            1.0
+        } else {
+            self.out_bytes as f64 / self.in_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_heavy_data_shrinks_dramatically() {
+        let mut data = vec![0u8; 1 << 20];
+        for i in (0..data.len()).step_by(4096) {
+            data[i] = (i / 4096) as u8; // sparse nonzeros
+        }
+        let c = compress(&data);
+        assert!(
+            c.len() * 100 < data.len(),
+            "zero-heavy 1 MB should compress >100x, got {}",
+            c.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_expands_below_half_percent() {
+        let data: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() >= data.len(), "no free lunch");
+        let expansion = c.len() as f64 / data.len() as f64;
+        assert!(expansion < 1.005, "expansion {expansion}");
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(compress(&[]), Vec::<u8>::new());
+        assert_eq!(decompress(&[]).unwrap(), Vec::<u8>::new());
+        for data in [&b"a"[..], b"ab", b"aaa", b"aaaa", b"aaaaa"] {
+            assert_eq!(decompress(&compress(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_runs_split_correctly() {
+        let data = vec![7u8; 200_000]; // > u16::MAX, multiple run ops
+        let c = compress(&data);
+        assert!(c.len() < 20);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        let c = compress(&[5u8; 100]);
+        assert_eq!(decompress(&c[..c.len() - 1]), Err(CompressError::Truncated));
+        assert_eq!(decompress(&[0x00, 0x10]), Err(CompressError::Truncated));
+        assert_eq!(decompress(&[3, 1, 2]), Err(CompressError::Truncated));
+    }
+
+    #[test]
+    fn cost_model_and_stats() {
+        let m = CompressionModel::default();
+        assert_eq!(
+            m.compress_cost(1_500_000_000).as_nanos(),
+            1_000_000_000,
+            "1.5 GB at 1.5 GB/s = 1 s"
+        );
+        assert!(m.decompress_cost(1 << 20) < m.compress_cost(1 << 20));
+        let mut s = CompressionStats::default();
+        s.record(1000, 100);
+        s.record(1000, 300);
+        assert!((s.ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(CompressionStats::default().ratio(), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_is_identity(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_runs(runs in proptest::collection::vec((any::<u8>(), 1usize..300), 0..20)) {
+            let mut data = Vec::new();
+            for (b, n) in runs {
+                data.resize(data.len() + n, b);
+            }
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+    }
+}

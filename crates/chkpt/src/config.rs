@@ -1,0 +1,153 @@
+//! Engine configuration.
+
+use nvm_heap::{Materialization, Versioning};
+use nvm_paging::Granularity;
+use serde::{Deserialize, Serialize};
+
+/// Which pre-copy scheme the engine runs (Section IV of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecopyPolicy {
+    /// No pre-copy: the entire dirty set is copied at the coordinated
+    /// checkpoint (the paper's "no pre-copy" baseline).
+    None,
+    /// Chunk-based pre-copy: dirty chunks stream to NVM in the
+    /// background from the start of the compute interval.
+    Cpc,
+    /// Delayed chunk pre-copy: background copying starts only at the
+    /// pre-copy threshold `T_p = I - D / NVMBW_core`, so chunks that
+    /// mutate early in the interval are not copied repeatedly.
+    Dcpc,
+    /// Delayed pre-copy with prediction: DCPC plus a per-chunk
+    /// modification-count prediction table; *hot chunks* (those that
+    /// mutate until the end of the interval) are not pre-copied until
+    /// their learned modification count is reached.
+    Dcpcp,
+}
+
+impl PrecopyPolicy {
+    /// Whether any background copying happens at all.
+    pub fn enabled(self) -> bool {
+        !matches!(self, PrecopyPolicy::None)
+    }
+
+    /// Whether the threshold delay applies.
+    pub fn delayed(self) -> bool {
+        matches!(self, PrecopyPolicy::Dcpc | PrecopyPolicy::Dcpcp)
+    }
+
+    /// Whether the prediction table gates pre-copy.
+    pub fn predictive(self) -> bool {
+        matches!(self, PrecopyPolicy::Dcpcp)
+    }
+}
+
+/// Full engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Pre-copy scheme.
+    pub precopy: PrecopyPolicy,
+    /// One or two NVM versions per chunk.
+    pub versioning: Versioning,
+    /// Chunk- or page-level protection (page-level only for ablation).
+    pub granularity: Granularity,
+    /// Compute per-chunk checksums at commit and verify on restart.
+    pub checksums: bool,
+    /// Byte-backed or size-only payloads.
+    pub materialization: Materialization,
+    /// How many application processes share this node's NVM device
+    /// during a coordinated checkpoint (sets the contention level the
+    /// device model sees).
+    pub node_concurrency: usize,
+    /// Fraction of a background copy's duration that surfaces as
+    /// application slowdown (memory-bandwidth interference between the
+    /// pre-copy stream and the computation). 0 = free overlap,
+    /// 1 = fully serialized.
+    pub precopy_interference: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            precopy: PrecopyPolicy::Dcpcp,
+            versioning: Versioning::Double,
+            granularity: Granularity::Chunk,
+            checksums: true,
+            materialization: Materialization::Bytes,
+            node_concurrency: 1,
+            precopy_interference: 0.25,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's "no pre-copy" baseline with otherwise default knobs.
+    pub fn no_precopy() -> Self {
+        EngineConfig {
+            precopy: PrecopyPolicy::None,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the pre-copy policy.
+    pub fn with_precopy(mut self, p: PrecopyPolicy) -> Self {
+        self.precopy = p;
+        self
+    }
+
+    /// Builder-style setter for materialization.
+    pub fn with_materialization(mut self, m: Materialization) -> Self {
+        self.materialization = m;
+        self
+    }
+
+    /// Builder-style setter for node concurrency.
+    pub fn with_node_concurrency(mut self, n: usize) -> Self {
+        self.node_concurrency = n.max(1);
+        self
+    }
+
+    /// Builder-style setter for versioning.
+    pub fn with_versioning(mut self, v: Versioning) -> Self {
+        self.versioning = v;
+        self
+    }
+
+    /// Builder-style setter for protection granularity.
+    pub fn with_granularity(mut self, g: Granularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Builder-style setter for checksumming.
+    pub fn with_checksums(mut self, on: bool) -> Self {
+        self.checksums = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_predicates() {
+        assert!(!PrecopyPolicy::None.enabled());
+        assert!(PrecopyPolicy::Cpc.enabled());
+        assert!(!PrecopyPolicy::Cpc.delayed());
+        assert!(PrecopyPolicy::Dcpc.delayed());
+        assert!(!PrecopyPolicy::Dcpc.predictive());
+        assert!(PrecopyPolicy::Dcpcp.delayed());
+        assert!(PrecopyPolicy::Dcpcp.predictive());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = EngineConfig::default()
+            .with_precopy(PrecopyPolicy::Cpc)
+            .with_node_concurrency(0)
+            .with_checksums(false);
+        assert_eq!(c.precopy, PrecopyPolicy::Cpc);
+        assert_eq!(c.node_concurrency, 1, "clamped to >= 1");
+        assert!(!c.checksums);
+    }
+}

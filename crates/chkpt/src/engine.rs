@@ -1,0 +1,1371 @@
+//! The checkpoint engine: shadow buffering, pre-copy, versioned
+//! commit, and restart.
+//!
+//! [`CheckpointEngine`] ties the substrates together for one process
+//! (MPI rank):
+//!
+//! * allocation calls go to the [`NvmHeap`] and register pages with the
+//!   [`Mmu`];
+//! * application writes land in the DRAM working copy, take protection
+//!   faults per the configured granularity, and feed the DCPCP
+//!   prediction table;
+//! * [`CheckpointEngine::compute`] models a compute segment, during
+//!   which background pre-copy drains eligible dirty chunks to their
+//!   in-progress NVM version slots (CPC immediately; DCPC/DCPCP after
+//!   the planner's threshold);
+//! * [`CheckpointEngine::nvchkptall`] is the coordinated local
+//!   checkpoint: copy what is still dirty, flush, checksum, and commit
+//!   by flipping each chunk's committed slot and persisting the
+//!   metadata region — a crash at any earlier point leaves the previous
+//!   committed version intact;
+//! * [`CheckpointEngine::restart`] rebuilds a process from the
+//!   metadata region, verifying checksums and restoring working copies.
+//!
+//! All operations charge a shared [`VirtualClock`].
+
+use crate::checksum::crc64;
+use crate::config::EngineConfig;
+use crate::restart::RestartStrategy;
+#[cfg(test)]
+use crate::config::PrecopyPolicy;
+use crate::precopy::PrecopyPlanner;
+use crate::predict::{PredictionTable, PredictionStats};
+use crate::stats::{EngineStats, EpochReport};
+use nvm_emu::{pages_for, DeviceError, MemoryDevice, RegionId, SimDuration, SimTime, VirtualClock, PAGE_SIZE};
+use nvm_heap::{HeapError, Materialization, NvmHeap};
+use nvm_paging::metadata::MetadataError;
+use nvm_paging::{ChunkId, MetadataRegion, Mmu};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors surfaced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Allocator failure.
+    Heap(HeapError),
+    /// Device failure.
+    Device(DeviceError),
+    /// Metadata region failure.
+    Metadata(MetadataError),
+    /// A committed chunk failed checksum verification on restart.
+    ChecksumMismatch {
+        /// The offending chunk.
+        chunk: ChunkId,
+        /// Checksum stored at commit.
+        expected: u64,
+        /// Checksum of the bytes actually read back.
+        actual: u64,
+    },
+    /// Restart was asked for a chunk that has no committed version.
+    NoCommittedData(ChunkId),
+}
+
+impl From<HeapError> for EngineError {
+    fn from(e: HeapError) -> Self {
+        EngineError::Heap(e)
+    }
+}
+
+impl From<DeviceError> for EngineError {
+    fn from(e: DeviceError) -> Self {
+        EngineError::Device(e)
+    }
+}
+
+impl From<MetadataError> for EngineError {
+    fn from(e: MetadataError) -> Self {
+        EngineError::Metadata(e)
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Heap(e) => write!(f, "heap: {e}"),
+            EngineError::Device(e) => write!(f, "device: {e}"),
+            EngineError::Metadata(e) => write!(f, "metadata: {e}"),
+            EngineError::ChecksumMismatch {
+                chunk,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch on {chunk:?}: stored {expected:#x}, read {actual:#x}"
+            ),
+            EngineError::NoCommittedData(id) => {
+                write!(f, "no committed checkpoint for {id:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Outcome of a restart.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RestartReport {
+    /// Chunks restored into DRAM from their committed NVM version.
+    pub restored: Vec<ChunkId>,
+    /// Chunks whose committed data failed checksum verification — the
+    /// caller should fetch these from the remote copy.
+    pub corrupt: Vec<ChunkId>,
+    /// Chunks that had no committed version (allocated but never
+    /// checkpointed before the failure).
+    pub never_committed: Vec<ChunkId>,
+    /// Chunks whose restore was deferred to first access
+    /// ([`RestartStrategy::Lazy`]).
+    pub deferred: Vec<ChunkId>,
+    /// Virtual time the restart took (`R_lcl` in the model).
+    pub duration: SimDuration,
+}
+
+/// The per-process checkpoint engine.
+pub struct CheckpointEngine {
+    heap: NvmHeap,
+    mmu: Mmu,
+    clock: VirtualClock,
+    config: EngineConfig,
+    metadata: MetadataRegion,
+    predictor: PredictionTable,
+    planner: PrecopyPlanner,
+    epoch: u64,
+    interval_start: SimTime,
+    /// Chunks fully pre-copied and still clean this interval.
+    precopy_done: BTreeSet<ChunkId>,
+    /// Background-copy budget in seconds; may go negative when a large
+    /// chunk overdraws one compute segment and repays in the next.
+    precopy_credit_secs: f64,
+    epoch_precopied: u64,
+    epoch_wasted: u64,
+    faults_at_interval_start: u64,
+    /// Chunks awaiting lazy (first-access) restore.
+    lazy_pending: BTreeSet<ChunkId>,
+    stats: EngineStats,
+    log: Vec<EpochReport>,
+}
+
+impl CheckpointEngine {
+    /// Create an engine for process `process_id` with an NVM container
+    /// of `container_capacity` bytes.
+    pub fn new(
+        process_id: u64,
+        dram: &MemoryDevice,
+        nvm: &MemoryDevice,
+        container_capacity: usize,
+        clock: VirtualClock,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let heap = NvmHeap::new(
+            process_id,
+            dram,
+            nvm,
+            container_capacity,
+            config.versioning,
+            config.materialization,
+        )?;
+        let metadata = MetadataRegion::create(nvm)?;
+        let now = clock.now();
+        Ok(CheckpointEngine {
+            heap,
+            mmu: Mmu::with_granularity(config.granularity),
+            clock,
+            config,
+            metadata,
+            predictor: PredictionTable::new(),
+            planner: PrecopyPlanner::new(),
+            epoch: 0,
+            interval_start: now,
+            precopy_done: BTreeSet::new(),
+            precopy_credit_secs: 0.0,
+            epoch_precopied: 0,
+            epoch_wasted: 0,
+            faults_at_interval_start: 0,
+            lazy_pending: BTreeSet::new(),
+            stats: EngineStats::default(),
+            log: Vec::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation interfaces (Table III)
+    // ------------------------------------------------------------------
+
+    /// Allocate a checkpoint chunk (`nvalloc(genid(name), len, pflg)`).
+    pub fn nvmalloc(
+        &mut self,
+        name: &str,
+        len: usize,
+        persistent: bool,
+    ) -> Result<ChunkId, EngineError> {
+        let id = self.heap.nvmalloc(name, len, persistent)?;
+        self.register(id, len, persistent)?;
+        Ok(id)
+    }
+
+    /// 2-D allocation wrapper (`nv2dalloc`).
+    pub fn nv2dalloc(
+        &mut self,
+        name: &str,
+        dim1: usize,
+        dim2: usize,
+        elem_size: usize,
+        persistent: bool,
+    ) -> Result<ChunkId, EngineError> {
+        self.nvmalloc(name, dim1 * dim2 * elem_size, persistent)
+    }
+
+    /// Attach existing data as a chunk (`nvattach`).
+    pub fn nvattach(&mut self, name: &str, src: &[u8]) -> Result<ChunkId, EngineError> {
+        let id = self.heap.nvattach(name, src)?;
+        self.register(id, src.len(), true)?;
+        Ok(id)
+    }
+
+    fn register(&mut self, id: ChunkId, len: usize, persistent: bool) -> Result<(), EngineError> {
+        if persistent {
+            self.mmu.register_chunk(id, pages_for(len).max(1));
+            let cost = self.metadata.save(&self.heap.export_metadata())?;
+            self.clock.advance(cost);
+        }
+        Ok(())
+    }
+
+    /// Grow a chunk (`nvrealloc`).
+    pub fn nvrealloc(&mut self, id: ChunkId, new_len: usize) -> Result<(), EngineError> {
+        self.heap.nvrealloc(id, new_len)?;
+        if self.heap.chunk(id)?.persistent {
+            self.mmu.grow_chunk(id, pages_for(new_len).max(1));
+            self.precopy_done.remove(&id);
+            let cost = self.metadata.save(&self.heap.export_metadata())?;
+            self.clock.advance(cost);
+        }
+        Ok(())
+    }
+
+    /// Delete a chunk (`nvdelete`).
+    pub fn nvdelete(&mut self, id: ChunkId) -> Result<(), EngineError> {
+        let persistent = self.heap.chunk(id)?.persistent;
+        self.heap.nvdelete(id)?;
+        if persistent {
+            self.mmu.unregister_chunk(id);
+            self.predictor.forget(id);
+            self.precopy_done.remove(&id);
+            let cost = self.metadata.save(&self.heap.export_metadata())?;
+            self.clock.advance(cost);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Application data path
+    // ------------------------------------------------------------------
+
+    /// Application write of real bytes into a chunk's working copy.
+    pub fn write(&mut self, id: ChunkId, offset: usize, data: &[u8]) -> Result<(), EngineError> {
+        self.ensure_restored(id)?;
+        let cost = self.heap.write(id, offset, data)?;
+        self.after_write(id, offset, data.len(), cost)
+    }
+
+    /// Application write, size-only (paper-scale benches).
+    pub fn write_synthetic(
+        &mut self,
+        id: ChunkId,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), EngineError> {
+        self.ensure_restored(id)?;
+        let cost = self.heap.write_synthetic(id, offset, len)?;
+        self.after_write(id, offset, len, cost)
+    }
+
+    fn after_write(
+        &mut self,
+        id: ChunkId,
+        offset: usize,
+        len: usize,
+        dram_cost: SimDuration,
+    ) -> Result<(), EngineError> {
+        let chunk = self.heap.chunk(id)?;
+        let persistent = chunk.persistent;
+        let chunk_len = chunk.len;
+        let mut total = dram_cost;
+        if persistent && len > 0 {
+            let first = offset / PAGE_SIZE;
+            let last = (offset + len - 1) / PAGE_SIZE;
+            let out = self.mmu.record_write(id, first, last - first + 1);
+            total += out.cost;
+            self.stats.faults += out.faults as u64;
+            self.stats.fault_time += out.cost;
+            self.predictor.record_modification(id);
+            if self.precopy_done.remove(&id) {
+                // A pre-copied chunk was modified again: the earlier
+                // copy is wasted and must be redone.
+                self.stats.wasted_precopy_bytes += chunk_len as u64;
+                self.epoch_wasted += chunk_len as u64;
+            }
+        }
+        self.clock.advance(total);
+        Ok(())
+    }
+
+    /// Read real bytes from a chunk's working copy.
+    pub fn read(&mut self, id: ChunkId, offset: usize, buf: &mut [u8]) -> Result<(), EngineError> {
+        self.ensure_restored(id)?;
+        let cost = self.heap.read(id, offset, buf)?;
+        self.clock.advance(cost);
+        Ok(())
+    }
+
+    /// Model a compute segment of length `dur`. Background pre-copy
+    /// runs during the segment per the configured policy; the clock
+    /// advances by `dur` plus the memory-interference penalty of any
+    /// background copying.
+    pub fn compute(&mut self, dur: SimDuration) {
+        let seg_start = self.clock.now();
+        let window = self.precopy_window(seg_start, dur);
+        let mut interference = SimDuration::ZERO;
+        if !window.is_zero() {
+            let copied_time = self.run_precopy(window);
+            interference = copied_time * self.config.precopy_interference;
+            self.stats.interference_time += interference;
+        }
+        self.clock.advance(dur + interference);
+    }
+
+    /// How much of a compute segment starting at `seg_start` with
+    /// length `dur` has active pre-copy.
+    fn precopy_window(&self, seg_start: SimTime, dur: SimDuration) -> SimDuration {
+        if !self.config.precopy.enabled() {
+            return SimDuration::ZERO;
+        }
+        // CPC pre-copies eagerly from the start of every interval.
+        if !self.config.precopy.delayed() {
+            return dur;
+        }
+        // Delayed policies wait out the first interval entirely: "our
+        // method waits for the first checkpoint step to complete and
+        // finds the approximate interval" — no threshold exists yet.
+        if !self.planner.is_learned() {
+            return SimDuration::ZERO;
+        }
+        let threshold = self
+            .planner
+            .start_time(self.interval_start)
+            .expect("planner is learned");
+        let seg_end = seg_start + dur;
+        if threshold <= seg_start {
+            dur
+        } else {
+            seg_end.since(threshold)
+        }
+    }
+
+    /// Drain eligible dirty chunks to their in-progress slots within
+    /// the given budget of background-copy time. Returns time actually
+    /// spent copying.
+    fn run_precopy(&mut self, budget: SimDuration) -> SimDuration {
+        self.precopy_credit_secs += budget.as_secs_f64();
+        let mut spent = SimDuration::ZERO;
+        while self.precopy_credit_secs > 0.0 {
+            let Some(id) = self.next_precopy_candidate() else {
+                break;
+            };
+            let chunk = self.heap.chunk(id).expect("candidate exists");
+            let slot = chunk.in_progress_slot(self.heap.versioning());
+            let len = chunk.len as u64;
+            let cost = self
+                .heap
+                .shadow_copy(id, slot, self.config.node_concurrency)
+                .expect("pre-copy shadow copy cannot fail");
+            self.precopy_credit_secs -= cost.as_secs_f64();
+            spent += cost;
+            self.stats.precopied_bytes += len;
+            self.epoch_precopied += len;
+            self.mmu.protect_after_precopy(id);
+            self.precopy_done.insert(id);
+        }
+        // Idle budget does not bank: background copying cannot run
+        // ahead of data that does not exist yet.
+        if self.precopy_credit_secs > 0.0 {
+            self.precopy_credit_secs = 0.0;
+        }
+        spent
+    }
+
+    fn next_precopy_candidate(&self) -> Option<ChunkId> {
+        self.heap
+            .persistent_ids()
+            .into_iter()
+            .find(|id| {
+                self.mmu.is_dirty(*id)
+                    && !self.precopy_done.contains(id)
+                    && (!self.config.precopy.predictive() || self.predictor.ready_for_precopy(*id))
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinated checkpoint
+    // ------------------------------------------------------------------
+
+    /// Coordinated local checkpoint of all persistent chunks
+    /// (`nvchkptall()`). Blocks the application for the copy of
+    /// still-dirty data, flushes, checksums, and commits.
+    pub fn nvchkptall(&mut self) -> Result<EpochReport, EngineError> {
+        let t0 = self.clock.now();
+        let mut coordinated_bytes = 0u64;
+        let mut skipped_bytes = 0u64;
+        // Chunks whose in-progress slot receives (or already received)
+        // fresh data this epoch and therefore must be committed.
+        let mut to_commit: Vec<ChunkId> = Vec::new();
+
+        for id in self.heap.persistent_ids() {
+            let chunk = self.heap.chunk(id)?;
+            let len = chunk.len as u64;
+            let has_committed = chunk.has_committed();
+            let precopied = self.precopy_done.contains(&id);
+            let dirty = self.mmu.is_dirty(id);
+
+            let copy_now = if !self.config.precopy.enabled() {
+                // Baseline: no dirty tracking, copy everything.
+                true
+            } else if precopied {
+                false // data already staged by pre-copy
+            } else {
+                dirty || !has_committed
+            };
+
+            if copy_now {
+                let slot = chunk.in_progress_slot(self.heap.versioning());
+                let cost = self.heap.shadow_copy(id, slot, self.config.node_concurrency)?;
+                self.clock.advance(cost);
+                coordinated_bytes += len;
+                to_commit.push(id);
+            } else if precopied {
+                to_commit.push(id);
+            } else {
+                // Clean, already committed: dirty tracking lets us skip
+                // it entirely (GTC's init-only giant arrays).
+                skipped_bytes += len;
+            }
+        }
+
+        // Flush + checksum + commit each freshly written slot.
+        for &id in &to_commit {
+            let slot = {
+                let chunk = self.heap.chunk(id)?;
+                chunk.in_progress_slot(self.heap.versioning())
+            };
+            let flush_cost = self.heap.flush_version(id, slot)?;
+            self.clock.advance(flush_cost);
+            let checksum = if self.config.checksums
+                && self.heap.materialization() == Materialization::Bytes
+            {
+                let (data, read_cost) = self.heap.read_version(id, slot)?;
+                self.clock.advance(read_cost);
+                Some(crc64(&data))
+            } else {
+                None
+            };
+            let epoch = self.epoch;
+            let chunk = self.heap.chunk_mut(id)?;
+            chunk.committed_slot = Some(slot);
+            chunk.checksum = checksum;
+            chunk.committed_epoch = epoch;
+        }
+
+        // The commit point: persisting the metadata region. A crash
+        // before this leaves every chunk's previous committed slot
+        // intact.
+        let meta_cost = self.metadata.save(&self.heap.export_metadata())?;
+        self.clock.advance(meta_cost);
+
+        // Reset dirty tracking for the next interval.
+        for id in self.heap.persistent_ids() {
+            if self.config.precopy.enabled() {
+                self.mmu.protect_after_precopy(id);
+            } else {
+                self.mmu.clear_local_dirty(id);
+            }
+        }
+
+        let now = self.clock.now();
+        let coordinated_time = now.since(t0);
+        let interval = now.since(self.interval_start);
+        let faults_now = self.mmu.stats().faults;
+        let report = EpochReport {
+            epoch: self.epoch,
+            coordinated_time,
+            coordinated_bytes,
+            precopied_bytes: self.epoch_precopied,
+            skipped_bytes,
+            wasted_bytes: self.epoch_wasted,
+            faults: faults_now - self.faults_at_interval_start,
+            interval,
+        };
+
+        // Learn/adapt.
+        let moved = coordinated_bytes + self.epoch_precopied;
+        let bw = self
+            .heap
+            .nvm()
+            .per_core_bandwidth(self.config.node_concurrency, 32 << 20);
+        // Learn the *compute* portion of the interval: pre-copy can only
+        // overlap compute, so the threshold must leave T_c of compute
+        // time, not T_c of wall time ending inside the checkpoint.
+        self.planner
+            .observe(interval.saturating_sub(coordinated_time), moved, bw);
+        self.predictor.end_interval();
+
+        self.stats.checkpoints += 1;
+        self.stats.coordinated_bytes += coordinated_bytes;
+        self.stats.skipped_bytes += skipped_bytes;
+        self.stats.coordinated_time += coordinated_time;
+
+        self.epoch += 1;
+        self.interval_start = now;
+        self.precopy_done.clear();
+        self.precopy_credit_secs = 0.0;
+        self.epoch_precopied = 0;
+        self.epoch_wasted = 0;
+        self.faults_at_interval_start = faults_now;
+        self.log.push(report);
+        Ok(report)
+    }
+
+    /// Blocking checkpoint of a single chunk (`nvchkptid(id)`).
+    /// Commits just that chunk; does not advance the epoch.
+    pub fn nvchkptid(&mut self, id: ChunkId) -> Result<SimDuration, EngineError> {
+        let t0 = self.clock.now();
+        let chunk = self.heap.chunk(id)?;
+        if !chunk.persistent {
+            return Err(EngineError::NoCommittedData(id));
+        }
+        let slot = chunk.in_progress_slot(self.heap.versioning());
+        let len = chunk.len as u64;
+        let cost = self.heap.shadow_copy(id, slot, self.config.node_concurrency)?;
+        self.clock.advance(cost);
+        let flush_cost = self.heap.flush_version(id, slot)?;
+        self.clock.advance(flush_cost);
+        let checksum = if self.config.checksums
+            && self.heap.materialization() == Materialization::Bytes
+        {
+            let (data, read_cost) = self.heap.read_version(id, slot)?;
+            self.clock.advance(read_cost);
+            Some(crc64(&data))
+        } else {
+            None
+        };
+        let epoch = self.epoch;
+        let chunk = self.heap.chunk_mut(id)?;
+        chunk.committed_slot = Some(slot);
+        chunk.checksum = checksum;
+        chunk.committed_epoch = epoch;
+        let meta_cost = self.metadata.save(&self.heap.export_metadata())?;
+        self.clock.advance(meta_cost);
+        self.mmu.clear_local_dirty(id);
+        if self.config.precopy.enabled() {
+            self.mmu.protect_after_precopy(id);
+        }
+        self.precopy_done.remove(&id);
+        self.stats.coordinated_bytes += len;
+        Ok(self.clock.now().since(t0))
+    }
+
+    // ------------------------------------------------------------------
+    // Restart
+    // ------------------------------------------------------------------
+
+    /// Rebuild an engine from a persisted metadata region after a
+    /// process restart (soft failure: the NVM device survived), using
+    /// the baseline eager strategy.
+    ///
+    /// Verifies checksums where available and restores committed data
+    /// into fresh DRAM working copies. Chunks that fail verification
+    /// are listed in the report for remote recovery.
+    pub fn restart(
+        dram: &MemoryDevice,
+        nvm: &MemoryDevice,
+        metadata_region: RegionId,
+        clock: VirtualClock,
+        config: EngineConfig,
+    ) -> Result<(Self, RestartReport), EngineError> {
+        Self::restart_with(
+            dram,
+            nvm,
+            metadata_region,
+            clock,
+            config,
+            RestartStrategy::Eager,
+        )
+    }
+
+    /// Rebuild an engine with an explicit [`RestartStrategy`]:
+    /// `Eager` (verify + restore everything serially), `Parallel`
+    /// (concurrent restore streams), or `Lazy` (restore each chunk on
+    /// first access).
+    pub fn restart_with(
+        dram: &MemoryDevice,
+        nvm: &MemoryDevice,
+        metadata_region: RegionId,
+        clock: VirtualClock,
+        config: EngineConfig,
+        strategy: RestartStrategy,
+    ) -> Result<(Self, RestartReport), EngineError> {
+        let t0 = clock.now();
+        let metadata = MetadataRegion::open(nvm, metadata_region)?;
+        let (meta, load_cost) = metadata.load()?;
+        clock.advance(load_cost);
+        let mut heap = NvmHeap::reopen(dram, nvm, &meta, config.materialization, config.versioning)?;
+        let mut mmu = Mmu::with_granularity(config.granularity);
+        let mut report = RestartReport::default();
+        let mut lazy_pending = BTreeSet::new();
+        let mut restore_cost = SimDuration::ZERO;
+
+        for id in heap.chunk_ids() {
+            let chunk = heap.chunk(id)?.clone();
+            mmu.register_chunk(id, pages_for(chunk.len).max(1));
+            if !chunk.has_committed() {
+                report.never_committed.push(id);
+                continue;
+            }
+            if strategy == RestartStrategy::Lazy {
+                // Defer verification + restore to first access. The
+                // chunk is clean: its committed NVM copy is the truth.
+                mmu.clear_local_dirty(id);
+                mmu.clear_remote_dirty(id);
+                lazy_pending.insert(id);
+                report.deferred.push(id);
+                continue;
+            }
+            let slot = chunk.committed_slot.expect("checked");
+            // Verify checksum when we have both bytes and a stored sum.
+            if config.materialization == Materialization::Bytes {
+                if let Some(expected) = chunk.checksum {
+                    let (data, read_cost) = heap.read_version(id, slot)?;
+                    restore_cost += read_cost;
+                    let actual = crc64(&data);
+                    if actual != expected {
+                        report.corrupt.push(id);
+                        continue;
+                    }
+                }
+            }
+            restore_cost += heap.restore_to_dram(id)?;
+            // Restored chunks are in sync with their committed version.
+            mmu.clear_local_dirty(id);
+            mmu.clear_remote_dirty(id);
+            if config.precopy.enabled() {
+                mmu.protect_after_precopy(id);
+            }
+            report.restored.push(id);
+        }
+        // Charge the restore time per the strategy: parallel streams
+        // overlap, bounded by the contended per-stream bandwidth.
+        match strategy {
+            RestartStrategy::Parallel { streams } if streams > 1 => {
+                let n = streams.min(report.restored.len().max(1));
+                let solo = nvm.per_core_bandwidth(1, 32 << 20);
+                let shared = nvm.per_core_bandwidth(n, 32 << 20);
+                let slowdown = (solo / shared).max(1.0);
+                clock.advance(SimDuration::from_secs_f64(
+                    restore_cost.as_secs_f64() * slowdown / n as f64,
+                ));
+            }
+            _ => {
+                clock.advance(restore_cost);
+            }
+        }
+        report.duration = clock.now().since(t0);
+        let now = clock.now();
+        let stats = EngineStats {
+            restarts: 1,
+            ..EngineStats::default()
+        };
+        Ok((
+            CheckpointEngine {
+                heap,
+                mmu,
+                clock,
+                config,
+                metadata,
+                predictor: PredictionTable::new(),
+                planner: PrecopyPlanner::new(),
+                epoch: 0,
+                interval_start: now,
+                precopy_done: BTreeSet::new(),
+                precopy_credit_secs: 0.0,
+                epoch_precopied: 0,
+                epoch_wasted: 0,
+                faults_at_interval_start: 0,
+                lazy_pending,
+                stats,
+                log: Vec::new(),
+            },
+            report,
+        ))
+    }
+
+    /// Number of chunks still awaiting lazy restore.
+    pub fn lazy_pending_count(&self) -> usize {
+        self.lazy_pending.len()
+    }
+
+    /// Verify + restore a lazily-deferred chunk now (called on first
+    /// access). No-op for chunks that are not pending.
+    fn ensure_restored(&mut self, id: ChunkId) -> Result<(), EngineError> {
+        if !self.lazy_pending.remove(&id) {
+            return Ok(());
+        }
+        let chunk = self.heap.chunk(id)?;
+        let slot = chunk
+            .committed_slot
+            .ok_or(EngineError::NoCommittedData(id))?;
+        let expected = chunk.checksum;
+        if self.config.materialization == Materialization::Bytes {
+            if let Some(expected) = expected {
+                let (data, read_cost) = self.heap.read_version(id, slot)?;
+                self.clock.advance(read_cost);
+                let actual = crc64(&data);
+                if actual != expected {
+                    return Err(EngineError::ChecksumMismatch {
+                        chunk: id,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
+        let cost = self.heap.restore_to_dram(id)?;
+        self.clock.advance(cost);
+        if self.config.precopy.enabled() {
+            self.mmu.protect_after_precopy(id);
+        }
+        Ok(())
+    }
+
+    /// Overwrite committed NVM bytes of a chunk *without* updating its
+    /// checksum — silent data corruption, for failure-injection tests
+    /// and the restart-fallback experiments.
+    pub fn corrupt_committed(&mut self, id: ChunkId) -> Result<(), EngineError> {
+        let chunk = self.heap.chunk(id)?;
+        let ext = chunk
+            .committed_extent()
+            .ok_or(EngineError::NoCommittedData(id))?;
+        let garbage = vec![0xA5u8; ext.len.min(64)];
+        self.heap
+            .nvm()
+            .write(self.heap.container(), ext.offset, &garbage, 1)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection / remote-checkpoint hooks
+    // ------------------------------------------------------------------
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Underlying heap (the remote helper reads committed data through
+    /// the shared-NVM interface).
+    pub fn heap(&self) -> &NvmHeap {
+        &self.heap
+    }
+
+    /// Mutable heap access (failure-injection tests).
+    pub fn heap_mut(&mut self) -> &mut NvmHeap {
+        &mut self.heap
+    }
+
+    /// The metadata region id (needed to restart this process later).
+    pub fn metadata_region(&self) -> RegionId {
+        self.metadata.region()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        let m = self.mmu.stats();
+        s.faults = m.faults;
+        s.fault_time = m.fault_time;
+        s
+    }
+
+    /// Per-epoch reports so far.
+    pub fn log(&self) -> &[EpochReport] {
+        &self.log
+    }
+
+    /// Completed checkpoint count.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Prediction-table accuracy.
+    pub fn predictor_stats(&self) -> PredictionStats {
+        self.predictor.stats()
+    }
+
+    /// The DCPC planner (read-only).
+    pub fn planner(&self) -> &PrecopyPlanner {
+        &self.planner
+    }
+
+    /// Per-process checkpoint data size `D`.
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.heap.checkpoint_bytes()
+    }
+
+    /// Chunks with pending *remote* (`nvdirty`) state — what the
+    /// remote-checkpoint helper scans.
+    pub fn remote_dirty_chunks(&self) -> Vec<ChunkId> {
+        self.mmu.nvdirty_chunks()
+    }
+
+    /// Chunks whose remote copy is stale (`nvdirty`) but whose local
+    /// state is stable (not locally dirty) — what the remote pre-copy
+    /// helper ships incrementally. Hot chunks stay locally dirty until
+    /// late in the interval and are therefore deferred automatically.
+    pub fn remote_stable_chunks(&self) -> Vec<ChunkId> {
+        self.mmu
+            .nvdirty_chunks()
+            .into_iter()
+            .filter(|id| !self.mmu.is_dirty(*id))
+            .collect()
+    }
+
+    /// Clear a chunk's remote-dirty state after the helper copied it.
+    pub fn mark_remote_copied(&mut self, id: ChunkId) {
+        self.mmu.clear_remote_dirty(id);
+    }
+
+    /// Length of a chunk in bytes.
+    pub fn chunk_len(&self, id: ChunkId) -> Result<usize, EngineError> {
+        Ok(self.heap.chunk(id)?.len)
+    }
+
+    /// Committed bytes of a chunk (what a remote checkpoint ships).
+    pub fn committed_bytes(&self, id: ChunkId) -> Result<Vec<u8>, EngineError> {
+        let chunk = self.heap.chunk(id)?;
+        let slot = chunk
+            .committed_slot
+            .ok_or(EngineError::NoCommittedData(id))?;
+        let (data, _) = self.heap.read_version(id, slot)?;
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_heap::Versioning;
+
+    const MB: usize = 1 << 20;
+
+    fn setup(config: EngineConfig) -> (CheckpointEngine, MemoryDevice, MemoryDevice, VirtualClock) {
+        let dram = MemoryDevice::dram(256 * MB);
+        let nvm = MemoryDevice::pcm(256 * MB);
+        let clock = VirtualClock::new();
+        let engine =
+            CheckpointEngine::new(0, &dram, &nvm, 128 * MB, clock.clone(), config).unwrap();
+        (engine, dram, nvm, clock)
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let (mut e, dram, nvm, clock) = setup(EngineConfig::default());
+        let a = e.nvmalloc("a", 4096, true).unwrap();
+        let b = e.nvmalloc("b", 8192, true).unwrap();
+        e.write(a, 0, &[1u8; 4096]).unwrap();
+        e.write(b, 0, &[2u8; 8192]).unwrap();
+        e.compute(SimDuration::from_secs(1));
+        e.nvchkptall().unwrap();
+
+        let region = e.metadata_region();
+        drop(e); // process dies (soft failure)
+
+        let (mut e2, report) =
+            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default())
+                .unwrap();
+        assert_eq!(report.restored.len(), 2);
+        assert!(report.corrupt.is_empty());
+        let mut buf = vec![0u8; 4096];
+        e2.read(a, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![1u8; 4096]);
+        let mut buf = vec![0u8; 8192];
+        e2.read(b, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![2u8; 8192]);
+    }
+
+    #[test]
+    fn crash_before_commit_preserves_previous_checkpoint() {
+        let (mut e, dram, nvm, clock) = setup(EngineConfig::default());
+        let a = e.nvmalloc("a", 4096, true).unwrap();
+        e.write(a, 0, &[1u8; 4096]).unwrap();
+        e.nvchkptall().unwrap(); // epoch 0 committed with 1s
+
+        // New data, *partially* checkpointed: shadow-copy into the
+        // in-progress slot but crash before commit (no metadata save).
+        e.write(a, 0, &[9u8; 4096]).unwrap();
+        let slot = {
+            let c = e.heap().chunk(a).unwrap();
+            c.in_progress_slot(Versioning::Double)
+        };
+        e.heap_mut().shadow_copy(a, slot, 1).unwrap();
+        let region = e.metadata_region();
+        drop(e); // crash
+
+        let (mut e2, report) =
+            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default())
+                .unwrap();
+        assert_eq!(report.restored, vec![a]);
+        let mut buf = vec![0u8; 4096];
+        e2.read(a, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![1u8; 4096], "must restore the committed version");
+    }
+
+    #[test]
+    fn corruption_is_detected_on_restart() {
+        let (mut e, dram, nvm, clock) = setup(EngineConfig::default());
+        let a = e.nvmalloc("a", 4096, true).unwrap();
+        e.write(a, 0, &[1u8; 4096]).unwrap();
+        e.nvchkptall().unwrap();
+        e.corrupt_committed(a).unwrap();
+        let region = e.metadata_region();
+        drop(e);
+
+        let (_e2, report) =
+            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default())
+                .unwrap();
+        assert_eq!(report.corrupt, vec![a], "checksum must catch corruption");
+        assert!(report.restored.is_empty());
+    }
+
+    #[test]
+    fn precopy_drains_data_before_coordinated_step() {
+        let mut cfg = EngineConfig::default().with_precopy(PrecopyPolicy::Cpc);
+        cfg.checksums = false;
+        let (mut e, ..) = setup(cfg);
+        let a = e.nvmalloc("a", 4 * MB, true).unwrap();
+        e.write(a, 0, &vec![3u8; 4 * MB]).unwrap();
+        // Long compute: plenty of background bandwidth to drain 4 MB.
+        e.compute(SimDuration::from_secs(5));
+        let report = e.nvchkptall().unwrap();
+        assert_eq!(report.precopied_bytes, 4 * MB as u64);
+        assert_eq!(report.coordinated_bytes, 0);
+        assert!(report.coordinated_time < SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn no_precopy_copies_everything_at_checkpoint() {
+        let (mut e, ..) = setup(EngineConfig::no_precopy());
+        let a = e.nvmalloc("a", 4 * MB, true).unwrap();
+        e.write(a, 0, &vec![3u8; 4 * MB]).unwrap();
+        e.compute(SimDuration::from_secs(5));
+        let report = e.nvchkptall().unwrap();
+        assert_eq!(report.precopied_bytes, 0);
+        assert_eq!(report.coordinated_bytes, 4 * MB as u64);
+        // And it re-copies even unmodified data next epoch.
+        e.compute(SimDuration::from_secs(5));
+        let r2 = e.nvchkptall().unwrap();
+        assert_eq!(r2.coordinated_bytes, 4 * MB as u64);
+        assert_eq!(r2.skipped_bytes, 0);
+    }
+
+    #[test]
+    fn unmodified_chunks_are_skipped_with_tracking() {
+        let mut cfg = EngineConfig::default().with_precopy(PrecopyPolicy::Cpc);
+        cfg.checksums = false;
+        let (mut e, ..) = setup(cfg);
+        let a = e.nvmalloc("init_only", 4 * MB, true).unwrap();
+        let b = e.nvmalloc("hot", MB, true).unwrap();
+        e.write(a, 0, &vec![1u8; 4 * MB]).unwrap();
+        e.write(b, 0, &vec![2u8; MB]).unwrap();
+        e.compute(SimDuration::from_secs(5));
+        e.nvchkptall().unwrap();
+
+        // Second epoch: only b is touched.
+        e.write(b, 0, &vec![5u8; MB]).unwrap();
+        e.compute(SimDuration::from_secs(5));
+        let r = e.nvchkptall().unwrap();
+        assert_eq!(
+            r.skipped_bytes,
+            4 * MB as u64,
+            "init-only chunk must be skipped (the GTC effect)"
+        );
+        assert_eq!(r.total_bytes(), MB as u64);
+    }
+
+    #[test]
+    fn rewriting_precopied_chunk_counts_as_waste() {
+        let mut cfg = EngineConfig::default().with_precopy(PrecopyPolicy::Cpc);
+        cfg.checksums = false;
+        let (mut e, ..) = setup(cfg);
+        let a = e.nvmalloc("a", MB, true).unwrap();
+        e.write(a, 0, &vec![1u8; MB]).unwrap();
+        e.compute(SimDuration::from_secs(2)); // pre-copies a
+        e.write(a, 0, &vec![2u8; MB]).unwrap(); // invalidates the copy
+        e.compute(SimDuration::from_secs(2)); // pre-copies a again
+        let r = e.nvchkptall().unwrap();
+        assert_eq!(r.wasted_bytes, MB as u64);
+        assert_eq!(r.precopied_bytes, 2 * MB as u64, "copied twice");
+        // Content must still be the latest value.
+        let data = e.committed_bytes(a).unwrap();
+        assert_eq!(data, vec![2u8; MB]);
+    }
+
+    #[test]
+    fn committed_content_reflects_last_write_before_checkpoint() {
+        let (mut e, ..) = setup(EngineConfig::default());
+        let a = e.nvmalloc("a", 1024, true).unwrap();
+        for round in 0..5u8 {
+            e.write(a, 0, &vec![round; 1024]).unwrap();
+            e.compute(SimDuration::from_millis(100));
+            e.nvchkptall().unwrap();
+            assert_eq!(e.committed_bytes(a).unwrap(), vec![round; 1024]);
+        }
+        assert_eq!(e.epoch(), 5);
+    }
+
+    #[test]
+    fn dcpc_learns_then_delays() {
+        let mut cfg = EngineConfig::default().with_precopy(PrecopyPolicy::Dcpc);
+        cfg.checksums = false;
+        let (mut e, ..) = setup(cfg);
+        let a = e.nvmalloc("a", MB, true).unwrap();
+        e.write(a, 0, &vec![1u8; MB]).unwrap();
+        e.compute(SimDuration::from_secs(10));
+        e.nvchkptall().unwrap(); // learning interval
+        assert!(e.planner().is_learned());
+        let tp = e.planner().start_offset().unwrap();
+        assert!(
+            tp > SimDuration::from_secs(5),
+            "1 MB drains fast; threshold should sit late in a ~10 s interval (got {tp})"
+        );
+    }
+
+    #[test]
+    fn dcpcp_defers_hot_chunks() {
+        let mut cfg = EngineConfig::default().with_precopy(PrecopyPolicy::Dcpcp);
+        cfg.checksums = false;
+        let (mut e, ..) = setup(cfg);
+        let hot = e.nvmalloc("hot", MB, true).unwrap();
+        // Learning epoch: hot chunk written 3 times.
+        for _ in 0..3 {
+            e.write_synthetic(hot, 0, MB).unwrap();
+            e.compute(SimDuration::from_secs(1));
+        }
+        e.nvchkptall().unwrap();
+        let wasted_learning = e.stats().wasted_precopy_bytes;
+
+        // Trained epoch, same pattern: the first two writes must not
+        // trigger pre-copy, so no waste accrues this interval.
+        for _ in 0..3 {
+            e.write_synthetic(hot, 0, MB).unwrap();
+            e.compute(SimDuration::from_secs(1));
+        }
+        let r = e.nvchkptall().unwrap();
+        assert_eq!(
+            e.stats().wasted_precopy_bytes,
+            wasted_learning,
+            "trained predictor must not waste copies on the hot chunk"
+        );
+        assert!(r.total_bytes() >= MB as u64);
+    }
+
+    #[test]
+    fn faults_are_charged_and_counted() {
+        let mut cfg = EngineConfig::default().with_precopy(PrecopyPolicy::Cpc);
+        cfg.checksums = false;
+        let (mut e, ..) = setup(cfg);
+        let a = e.nvmalloc("a", MB, true).unwrap();
+        e.write(a, 0, &vec![1u8; MB]).unwrap();
+        e.compute(SimDuration::from_secs(2)); // precopy protects a
+        let faults_before = e.stats().faults;
+        e.write(a, 0, &[7u8; 64]).unwrap(); // must fault once
+        assert_eq!(e.stats().faults, faults_before + 1);
+        assert!(e.stats().fault_time >= SimDuration::from_micros(6));
+    }
+
+    #[test]
+    fn nvchkptid_commits_single_chunk() {
+        let (mut e, ..) = setup(EngineConfig::default());
+        let a = e.nvmalloc("a", 1024, true).unwrap();
+        let b = e.nvmalloc("b", 1024, true).unwrap();
+        e.write(a, 0, &[1u8; 1024]).unwrap();
+        e.write(b, 0, &[2u8; 1024]).unwrap();
+        let cost = e.nvchkptid(a).unwrap();
+        assert!(!cost.is_zero());
+        assert!(e.heap().chunk(a).unwrap().has_committed());
+        assert!(!e.heap().chunk(b).unwrap().has_committed());
+        assert_eq!(e.committed_bytes(a).unwrap(), vec![1u8; 1024]);
+        assert!(matches!(
+            e.committed_bytes(b),
+            Err(EngineError::NoCommittedData(_))
+        ));
+    }
+
+    #[test]
+    fn remote_dirty_tracking_is_exposed() {
+        let (mut e, ..) = setup(EngineConfig::default());
+        let a = e.nvmalloc("a", 1024, true).unwrap();
+        e.write(a, 0, &[1u8; 1024]).unwrap();
+        assert_eq!(e.remote_dirty_chunks(), vec![a]);
+        e.mark_remote_copied(a);
+        assert!(e.remote_dirty_chunks().is_empty());
+        e.write(a, 0, &[2u8; 16]).unwrap();
+        assert_eq!(e.remote_dirty_chunks(), vec![a]);
+    }
+
+    #[test]
+    fn clock_advances_with_every_operation() {
+        let (mut e, _, _, clock) = setup(EngineConfig::default());
+        let t0 = clock.now();
+        let a = e.nvmalloc("a", MB, true).unwrap();
+        let t1 = clock.now();
+        assert!(t1 > t0, "metadata save must cost time");
+        e.write(a, 0, &vec![1u8; MB]).unwrap();
+        let t2 = clock.now();
+        assert!(t2 > t1);
+        e.nvchkptall().unwrap();
+        assert!(clock.now() > t2);
+    }
+
+    #[test]
+    fn lazy_restart_defers_until_first_access() {
+        let (mut e, dram, nvm, clock) = setup(EngineConfig::default());
+        let a = e.nvmalloc("a", 4096, true).unwrap();
+        let b = e.nvmalloc("b", 4096, true).unwrap();
+        e.write(a, 0, &[1u8; 4096]).unwrap();
+        e.write(b, 0, &[2u8; 4096]).unwrap();
+        e.nvchkptall().unwrap();
+        let region = e.metadata_region();
+        drop(e);
+
+        let (mut e2, report) = CheckpointEngine::restart_with(
+            &dram,
+            &nvm,
+            region,
+            clock,
+            EngineConfig::default(),
+            crate::restart::RestartStrategy::Lazy,
+        )
+        .unwrap();
+        assert!(report.restored.is_empty());
+        assert_eq!(report.deferred.len(), 2);
+        assert_eq!(e2.lazy_pending_count(), 2);
+
+        // First access restores; the other stays pending.
+        let mut buf = vec![0u8; 4096];
+        e2.read(a, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![1u8; 4096]);
+        assert_eq!(e2.lazy_pending_count(), 1);
+        // Writes also trigger restore first.
+        e2.write(b, 0, &[9u8; 16]).unwrap();
+        assert_eq!(e2.lazy_pending_count(), 0);
+        let mut buf = vec![0u8; 4096];
+        e2.read(b, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..16], &[9u8; 16]);
+        assert_eq!(&buf[16..], &vec![2u8; 4080][..]);
+    }
+
+    #[test]
+    fn lazy_restart_is_cheaper_upfront_than_eager() {
+        let mk = || {
+            let dram = MemoryDevice::dram(256 * MB);
+            let nvm = MemoryDevice::pcm(256 * MB);
+            let clock = VirtualClock::new();
+            let mut e = CheckpointEngine::new(
+                0,
+                &dram,
+                &nvm,
+                128 * MB,
+                clock.clone(),
+                EngineConfig::default(),
+            )
+            .unwrap();
+            let a = e.nvmalloc("a", 16 * MB, true).unwrap();
+            e.write(a, 0, &vec![1u8; 16 * MB]).unwrap();
+            e.nvchkptall().unwrap();
+            let region = e.metadata_region();
+            drop(e);
+            (dram, nvm, clock, region)
+        };
+        let (dram, nvm, clock, region) = mk();
+        let (_, eager) = CheckpointEngine::restart_with(
+            &dram,
+            &nvm,
+            region,
+            clock,
+            EngineConfig::default(),
+            crate::restart::RestartStrategy::Eager,
+        )
+        .unwrap();
+        let (dram, nvm, clock, region) = mk();
+        let (_, lazy) = CheckpointEngine::restart_with(
+            &dram,
+            &nvm,
+            region,
+            clock,
+            EngineConfig::default(),
+            crate::restart::RestartStrategy::Lazy,
+        )
+        .unwrap();
+        assert!(
+            lazy.duration.as_nanos() * 10 < eager.duration.as_nanos(),
+            "lazy {} vs eager {}",
+            lazy.duration,
+            eager.duration
+        );
+    }
+
+    #[test]
+    fn parallel_restart_is_faster_than_eager() {
+        let mk = || {
+            let dram = MemoryDevice::dram(512 * MB);
+            let nvm = MemoryDevice::pcm(512 * MB);
+            let clock = VirtualClock::new();
+            let cfg = EngineConfig::default().with_checksums(false);
+            let mut e =
+                CheckpointEngine::new(0, &dram, &nvm, 256 * MB, clock.clone(), cfg).unwrap();
+            for i in 0..8 {
+                let id = e.nvmalloc(&format!("c{i}"), 8 * MB, true).unwrap();
+                e.write_synthetic(id, 0, 8 * MB).unwrap();
+            }
+            e.nvchkptall().unwrap();
+            let region = e.metadata_region();
+            drop(e);
+            (dram, nvm, clock, region, cfg)
+        };
+        let (dram, nvm, clock, region, cfg) = mk();
+        let (_, eager) = CheckpointEngine::restart_with(
+            &dram,
+            &nvm,
+            region,
+            clock,
+            cfg,
+            crate::restart::RestartStrategy::Eager,
+        )
+        .unwrap();
+        let (dram, nvm, clock, region, cfg) = mk();
+        let (_, parallel) = CheckpointEngine::restart_with(
+            &dram,
+            &nvm,
+            region,
+            clock,
+            cfg,
+            crate::restart::RestartStrategy::Parallel { streams: 8 },
+        )
+        .unwrap();
+        assert!(
+            parallel.duration < eager.duration,
+            "parallel {} vs eager {}",
+            parallel.duration,
+            eager.duration
+        );
+        assert_eq!(parallel.restored.len(), 8);
+    }
+
+    #[test]
+    fn lazy_restore_detects_corruption_on_access() {
+        let (mut e, dram, nvm, clock) = setup(EngineConfig::default());
+        let a = e.nvmalloc("a", 4096, true).unwrap();
+        e.write(a, 0, &[1u8; 4096]).unwrap();
+        e.nvchkptall().unwrap();
+        e.corrupt_committed(a).unwrap();
+        let region = e.metadata_region();
+        drop(e);
+        let (mut e2, report) = CheckpointEngine::restart_with(
+            &dram,
+            &nvm,
+            region,
+            clock,
+            EngineConfig::default(),
+            crate::restart::RestartStrategy::Lazy,
+        )
+        .unwrap();
+        assert!(report.corrupt.is_empty(), "not detected yet");
+        let mut buf = vec![0u8; 4096];
+        let err = e2.read(a, 0, &mut buf).unwrap_err();
+        assert!(matches!(err, EngineError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn nvattach_then_checkpoint_roundtrips() {
+        let (mut e, ..) = setup(EngineConfig::default());
+        let src: Vec<u8> = (0..8192u32).map(|i| (i % 254) as u8).collect();
+        let id = e.nvattach("custom_alloc", &src).unwrap();
+        e.nvchkptall().unwrap();
+        assert_eq!(e.committed_bytes(id).unwrap(), src);
+    }
+
+    #[test]
+    fn nvrealloc_invalidates_commit_until_next_checkpoint() {
+        let (mut e, ..) = setup(EngineConfig::default());
+        let id = e.nvmalloc("grid", 4096, true).unwrap();
+        e.write(id, 0, &[1u8; 4096]).unwrap();
+        e.nvchkptall().unwrap();
+        e.nvrealloc(id, 16384).unwrap();
+        assert!(
+            matches!(e.committed_bytes(id), Err(EngineError::NoCommittedData(_))),
+            "grown chunk has no committed version yet"
+        );
+        e.write(id, 0, &[2u8; 16384]).unwrap();
+        e.nvchkptall().unwrap();
+        assert_eq!(e.committed_bytes(id).unwrap(), vec![2u8; 16384]);
+    }
+
+    #[test]
+    fn nvdelete_survives_restart_cleanly() {
+        let (mut e, dram, nvm, clock) = setup(EngineConfig::default());
+        let keep = e.nvmalloc("keep", 4096, true).unwrap();
+        let gone = e.nvmalloc("gone", 4096, true).unwrap();
+        e.write(keep, 0, &[1u8; 4096]).unwrap();
+        e.write(gone, 0, &[2u8; 4096]).unwrap();
+        e.nvchkptall().unwrap();
+        e.nvdelete(gone).unwrap();
+        let region = e.metadata_region();
+        drop(e);
+        let (e2, report) =
+            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default())
+                .unwrap();
+        assert_eq!(report.restored, vec![keep], "deleted chunk stays gone");
+        assert!(e2.heap().chunk(gone).is_err());
+    }
+
+    #[test]
+    fn epoch_log_accumulates_reports() {
+        let (mut e, ..) = setup(EngineConfig::default());
+        let id = e.nvmalloc("x", 4096, true).unwrap();
+        for i in 0..4u8 {
+            e.write(id, 0, &[i; 4096]).unwrap();
+            e.compute(SimDuration::from_millis(50));
+            e.nvchkptall().unwrap();
+        }
+        let log = e.log();
+        assert_eq!(log.len(), 4);
+        assert!(log.windows(2).all(|w| w[0].epoch + 1 == w[1].epoch));
+        assert!(log.iter().all(|r| !r.interval.is_zero()));
+        assert_eq!(e.stats().checkpoints, 4);
+    }
+
+    #[test]
+    fn non_persistent_chunks_never_checkpoint() {
+        let (mut e, ..) = setup(EngineConfig::default());
+        let tmp = e.nvmalloc("scratch", MB, false).unwrap();
+        e.write(tmp, 0, &vec![1u8; MB]).unwrap();
+        let r = e.nvchkptall().unwrap();
+        assert_eq!(r.total_bytes(), 0);
+        assert!(matches!(
+            e.nvchkptid(tmp),
+            Err(EngineError::NoCommittedData(_))
+        ));
+    }
+}

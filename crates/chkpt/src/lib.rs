@@ -1,0 +1,68 @@
+//! NVM-checkpoints core engine.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! ("Optimizing Checkpoints Using NVM as Virtual Memory", IPDPS 2013):
+//! an application-initiated checkpoint library that treats emulated
+//! byte-addressable NVM as slow *virtual memory* rather than a fast
+//! disk, and hides the NVM's write-latency and bandwidth limits with
+//! shadow buffering and three pre-copy schemes.
+//!
+//! * [`engine::CheckpointEngine`] — per-process engine: allocation
+//!   (Table III interfaces), shadow buffering, background pre-copy,
+//!   coordinated checkpoint with two-version commit, checksummed
+//!   restart.
+//! * [`config::PrecopyPolicy`] — `None` (baseline), `Cpc`, `Dcpc`,
+//!   `Dcpcp`.
+//! * [`precopy::PrecopyPlanner`] — learns the checkpoint interval and
+//!   data size, yields the `T_p = I - D/BW` threshold.
+//! * [`predict::PredictionTable`] — per-chunk modification-count
+//!   predictor that keeps hot chunks out of the pre-copy stream.
+//! * [`checksum`] — CRC-64 used for commit/restart integrity.
+//!
+//! # Quick example
+//!
+//! ```
+//! use nvm_chkpt::{CheckpointEngine, EngineConfig};
+//! use nvm_emu::{MemoryDevice, SimDuration, VirtualClock};
+//!
+//! let dram = MemoryDevice::dram(64 << 20);
+//! let nvm = MemoryDevice::pcm(64 << 20);
+//! let clock = VirtualClock::new();
+//! let mut engine = CheckpointEngine::new(
+//!     0, &dram, &nvm, 32 << 20, clock.clone(), EngineConfig::default(),
+//! ).unwrap();
+//!
+//! let field = engine.nvmalloc("field", 4096, true).unwrap();
+//! engine.write(field, 0, &[42u8; 4096]).unwrap();
+//! engine.compute(SimDuration::from_secs(1));
+//! let report = engine.nvchkptall().unwrap();
+//! assert_eq!(report.total_bytes(), 4096);
+//! assert_eq!(engine.committed_bytes(field).unwrap(), vec![42u8; 4096]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capi;
+pub mod checksum;
+pub mod compress;
+pub mod config;
+pub mod engine;
+pub mod precopy;
+pub mod predict;
+pub mod restart;
+pub mod stats;
+pub mod transparent;
+
+pub use compress::{compress, decompress, CompressionModel, CompressionStats};
+pub use config::{EngineConfig, PrecopyPolicy};
+pub use engine::{CheckpointEngine, EngineError, RestartReport};
+pub use precopy::PrecopyPlanner;
+pub use restart::RestartStrategy;
+pub use predict::PredictionTable;
+pub use stats::{EngineStats, EpochReport};
+pub use transparent::TransparentProcess;
+
+// Re-exports so downstream crates rarely need the substrate crates
+// directly.
+pub use nvm_heap::{Materialization, Versioning};
+pub use nvm_paging::{genid, ChunkId, Granularity};

@@ -1,0 +1,164 @@
+//! Pre-copy threshold planner (the DCPC mechanism).
+//!
+//! Starting pre-copy at the very beginning of a compute interval is
+//! wasteful: chunks modified repeatedly would be copied repeatedly.
+//! DCPC instead starts pre-copy at the *pre-copy threshold*
+//!
+//! ```text
+//! T_c = D / NVMBW_core        (estimated checkpoint copy time)
+//! T_p = I - T_c               (offset into the interval to start)
+//! ```
+//!
+//! so that background copying has just enough time to drain all
+//! checkpoint data before the coordinated step. `I` and `D` are
+//! *learned* from the first checkpoint and continuously adapted — the
+//! paper: "We continuously adapt the pre-copy threshold to deal with
+//! application changes across iterations."
+
+use nvm_emu::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// EWMA weight for new observations when adapting `I` and `D`.
+const ADAPT_ALPHA: f64 = 0.5;
+
+/// Safety factor on the estimated copy time: start slightly earlier
+/// than strictly necessary so jitter does not leave data uncopied.
+const HEADROOM: f64 = 1.2;
+
+/// Planner state for the delayed pre-copy threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrecopyPlanner {
+    /// Smoothed checkpoint interval `I` (compute + local checkpoint),
+    /// `None` until the first checkpoint completes.
+    interval: Option<SimDuration>,
+    /// Smoothed per-process checkpoint data size `D`, bytes.
+    data_bytes: f64,
+    /// Effective NVM bandwidth per core used for the `T_c` estimate.
+    bw_core: f64,
+}
+
+impl PrecopyPlanner {
+    /// A planner that has not yet observed a checkpoint.
+    pub fn new() -> Self {
+        PrecopyPlanner {
+            interval: None,
+            data_bytes: 0.0,
+            bw_core: 1.0,
+        }
+    }
+
+    /// True once the first interval has been observed.
+    pub fn is_learned(&self) -> bool {
+        self.interval.is_some()
+    }
+
+    /// Feed one completed checkpoint interval: its duration, the bytes
+    /// the checkpoint had to move, and the effective per-core NVM
+    /// bandwidth seen.
+    pub fn observe(&mut self, interval: SimDuration, data_bytes: u64, bw_core: f64) {
+        assert!(bw_core > 0.0, "bandwidth must be positive");
+        match self.interval {
+            None => {
+                self.interval = Some(interval);
+                self.data_bytes = data_bytes as f64;
+            }
+            Some(prev) => {
+                let blended = prev.as_secs_f64() * (1.0 - ADAPT_ALPHA)
+                    + interval.as_secs_f64() * ADAPT_ALPHA;
+                self.interval = Some(SimDuration::from_secs_f64(blended));
+                self.data_bytes =
+                    self.data_bytes * (1.0 - ADAPT_ALPHA) + data_bytes as f64 * ADAPT_ALPHA;
+            }
+        }
+        self.bw_core = bw_core;
+    }
+
+    /// Estimated coordinated-checkpoint copy time `T_c = D / BW`.
+    pub fn estimated_checkpoint_time(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.data_bytes / self.bw_core * HEADROOM)
+    }
+
+    /// The learned interval `I`, if any.
+    pub fn interval(&self) -> Option<SimDuration> {
+        self.interval
+    }
+
+    /// Offset into the interval at which pre-copy should start
+    /// (`T_p = I - T_c`, clamped at zero — if the checkpoint cannot
+    /// drain within one interval, start immediately). `None` while
+    /// still unlearned.
+    pub fn start_offset(&self) -> Option<SimDuration> {
+        let interval = self.interval?;
+        Some(interval.saturating_sub(self.estimated_checkpoint_time()))
+    }
+
+    /// Absolute time at which pre-copy becomes active for an interval
+    /// that started at `interval_start`.
+    pub fn start_time(&self, interval_start: SimTime) -> Option<SimTime> {
+        self.start_offset().map(|off| interval_start + off)
+    }
+}
+
+impl Default for PrecopyPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlearned_planner_has_no_threshold() {
+        let p = PrecopyPlanner::new();
+        assert!(!p.is_learned());
+        assert_eq!(p.start_offset(), None);
+        assert_eq!(p.start_time(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn threshold_formula_t_p_equals_i_minus_t_c() {
+        let mut p = PrecopyPlanner::new();
+        // I = 40 s, D = 400 MB, BW = 400 MB/s  =>  T_c = 1.2 s (with
+        // 1.2 headroom), T_p = 38.8 s.
+        p.observe(SimDuration::from_secs(40), 400 << 20, 400.0 * (1 << 20) as f64);
+        let tc = p.estimated_checkpoint_time();
+        assert!((tc.as_secs_f64() - 1.2).abs() < 1e-9);
+        let tp = p.start_offset().unwrap();
+        assert!((tp.as_secs_f64() - 38.8).abs() < 1e-9);
+        let start = p.start_time(SimTime::from_secs(100)).unwrap();
+        assert!((start.as_secs_f64() - 138.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oversized_checkpoint_starts_immediately() {
+        let mut p = PrecopyPlanner::new();
+        // Copy time (10 GB at 100 MB/s = 100 s) exceeds the 40 s
+        // interval: clamp to zero.
+        p.observe(SimDuration::from_secs(40), 10 << 30, 100.0 * (1 << 20) as f64);
+        assert_eq!(p.start_offset().unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn adaptation_blends_observations() {
+        let mut p = PrecopyPlanner::new();
+        p.observe(SimDuration::from_secs(40), 100 << 20, 1e9);
+        p.observe(SimDuration::from_secs(80), 100 << 20, 1e9);
+        // EWMA with alpha 0.5: 60 s.
+        let i = p.interval().unwrap().as_secs_f64();
+        assert!((i - 60.0).abs() < 1e-6, "interval={i}");
+        // Growing data size shifts the threshold earlier.
+        let tp_before = p.start_offset().unwrap();
+        p.observe(SimDuration::from_secs(60), 4 << 30, 1e9);
+        let tp_after = p.start_offset().unwrap();
+        assert!(tp_after < tp_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let mut p = PrecopyPlanner::new();
+        p.observe(SimDuration::from_secs(1), 1, 0.0);
+    }
+}

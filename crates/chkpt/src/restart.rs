@@ -1,0 +1,48 @@
+//! Restart strategies — the paper's explicit future work.
+//!
+//! The paper's restart component is deliberately simple ("our current
+//! restart mechanism is simplistic and our future plans will consider
+//! its in-depth analysis and possible optimizations") and notes that
+//! NVM *read* speeds are DRAM-class, making restart a promising
+//! optimization target. This module implements three strategies:
+//!
+//! * [`RestartStrategy::Eager`] — the paper's baseline: verify and
+//!   restore every committed chunk serially before returning control.
+//! * [`RestartStrategy::Parallel`] — restore with several concurrent
+//!   read streams; wall time shrinks toward `total / streams`, bounded
+//!   by the contended per-stream bandwidth.
+//! * [`RestartStrategy::Lazy`] — return control immediately; each
+//!   chunk is verified and restored on *first access* (the same idea
+//!   as the shadow-buffer read path: "the application can directly
+//!   access write protected NVM, and an attempt to modify the data
+//!   would move the data back to DRAM"). Applications that touch only
+//!   part of their state after a failure never pay for the rest.
+
+use serde::{Deserialize, Serialize};
+
+/// How a restarted process repopulates its DRAM working copies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum RestartStrategy {
+    /// Verify + restore everything before returning (the baseline).
+    #[default]
+    Eager,
+    /// Verify + restore everything with `streams` concurrent readers.
+    Parallel {
+        /// Concurrent restore streams.
+        streams: usize,
+    },
+    /// Defer each chunk's verify + restore to its first access.
+    Lazy,
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_eager() {
+        assert_eq!(RestartStrategy::default(), RestartStrategy::Eager);
+    }
+}

@@ -1,0 +1,100 @@
+//! Engine statistics and per-epoch reports.
+
+use nvm_emu::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters over the life of a [`crate::CheckpointEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Checkpoints committed.
+    pub checkpoints: u64,
+    /// Bytes moved to NVM by background pre-copy.
+    pub precopied_bytes: u64,
+    /// Bytes moved to NVM during coordinated (blocking) checkpoints.
+    pub coordinated_bytes: u64,
+    /// Bytes *not* moved because chunk dirty-tracking proved them
+    /// unmodified since the last commit (GTC's init-only chunks).
+    pub skipped_bytes: u64,
+    /// Pre-copied bytes that were invalidated by a later modification
+    /// in the same interval (wasted pre-copy work).
+    pub wasted_precopy_bytes: u64,
+    /// Total blocking time spent inside coordinated checkpoints.
+    pub coordinated_time: SimDuration,
+    /// Application slowdown charged for pre-copy memory interference.
+    pub interference_time: SimDuration,
+    /// Time spent in protection-fault handling.
+    pub fault_time: SimDuration,
+    /// Protection faults taken.
+    pub faults: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+impl EngineStats {
+    /// All bytes moved to NVM for checkpointing.
+    pub fn total_copied_bytes(&self) -> u64 {
+        self.precopied_bytes + self.coordinated_bytes
+    }
+
+    /// Fraction of copied bytes moved by pre-copy (how much of the
+    /// checkpoint was drained in the background).
+    pub fn precopy_fraction(&self) -> f64 {
+        let total = self.total_copied_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.precopied_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// Per-checkpoint (epoch) report — one row of the paper's local
+/// checkpoint figures.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch number (0-based).
+    pub epoch: u64,
+    /// Blocking duration of the coordinated step (`t_lcl`).
+    pub coordinated_time: SimDuration,
+    /// Bytes copied during the coordinated step.
+    pub coordinated_bytes: u64,
+    /// Bytes pre-copied in the background during this interval.
+    pub precopied_bytes: u64,
+    /// Bytes skipped because the chunk was unmodified.
+    pub skipped_bytes: u64,
+    /// Wasted (re-copied) pre-copy bytes this interval.
+    pub wasted_bytes: u64,
+    /// Protection faults taken during this interval.
+    pub faults: u64,
+    /// Interval length (end of previous checkpoint to end of this one).
+    pub interval: SimDuration,
+}
+
+impl EpochReport {
+    /// All bytes this epoch moved to NVM.
+    pub fn total_bytes(&self) -> u64 {
+        self.coordinated_bytes + self.precopied_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precopy_fraction_handles_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.precopy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn precopy_fraction_math() {
+        let s = EngineStats {
+            precopied_bytes: 300,
+            coordinated_bytes: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.total_copied_bytes(), 400);
+        assert!((s.precopy_fraction() - 0.75).abs() < 1e-12);
+    }
+}

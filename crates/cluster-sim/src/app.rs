@@ -1,0 +1,123 @@
+//! The workload interface.
+//!
+//! A [`Workload`] drives one rank's application behaviour: it
+//! allocates checkpoint chunks through the engine's Table-III
+//! interfaces at setup, and on every iteration issues writes and
+//! compute segments. The `hpc-workloads` crate implements GTC-,
+//! LAMMPS- and CM1-shaped workloads against this trait; this module
+//! ships a simple uniform workload used by the simulator's own tests.
+
+use crate::comm::{Collective, CommPattern};
+use nvm_chkpt::{CheckpointEngine, EngineError};
+use nvm_emu::SimDuration;
+use nvm_paging::ChunkId;
+
+/// One rank's application behaviour.
+pub trait Workload {
+    /// Human-readable name.
+    fn name(&self) -> &str;
+
+    /// Allocate chunks; called once per process lifetime (and again
+    /// after a hard failure rebuilds the process from scratch).
+    fn setup(&mut self, engine: &mut CheckpointEngine) -> Result<(), EngineError>;
+
+    /// Run one compute iteration: application writes plus
+    /// [`CheckpointEngine::compute`] segments.
+    fn iterate(&mut self, engine: &mut CheckpointEngine, iter: u64) -> Result<(), EngineError>;
+
+    /// Bytes of application (MPI) communication per rank per
+    /// iteration — this is the traffic that contends with asynchronous
+    /// remote checkpoints.
+    fn comm_bytes(&self) -> u64 {
+        0
+    }
+
+    /// The MPI pattern those bytes move through. Defaults to a simple
+    /// two-neighbor exchange of `comm_bytes`; workloads override with
+    /// their real collective mix (alltoalls amplify contention through
+    /// their many rounds).
+    fn comm_pattern(&self) -> CommPattern {
+        let bytes = self.comm_bytes();
+        if bytes == 0 {
+            CommPattern::none()
+        } else {
+            CommPattern {
+                ops: vec![(Collective::Halo { neighbors: 2 }, bytes)],
+            }
+        }
+    }
+}
+
+/// A uniform test workload: `chunks` equal-sized chunks, all rewritten
+/// every iteration, one compute segment per iteration.
+pub struct UniformWorkload {
+    chunks: usize,
+    chunk_bytes: usize,
+    compute: SimDuration,
+    comm_bytes: u64,
+    ids: Vec<ChunkId>,
+}
+
+impl UniformWorkload {
+    /// Build a uniform workload.
+    pub fn new(chunks: usize, chunk_bytes: usize, compute: SimDuration, comm_bytes: u64) -> Self {
+        UniformWorkload {
+            chunks,
+            chunk_bytes,
+            compute,
+            comm_bytes,
+            ids: Vec::new(),
+        }
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn setup(&mut self, engine: &mut CheckpointEngine) -> Result<(), EngineError> {
+        self.ids.clear();
+        for i in 0..self.chunks {
+            let id = engine.nvmalloc(&format!("uniform_{i}"), self.chunk_bytes, true)?;
+            self.ids.push(id);
+        }
+        Ok(())
+    }
+
+    fn iterate(&mut self, engine: &mut CheckpointEngine, _iter: u64) -> Result<(), EngineError> {
+        for &id in &self.ids {
+            engine.write_synthetic(id, 0, self.chunk_bytes)?;
+        }
+        engine.compute(self.compute);
+        Ok(())
+    }
+
+    fn comm_bytes(&self) -> u64 {
+        self.comm_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_chkpt::{EngineConfig, Materialization};
+    use nvm_emu::{MemoryDevice, VirtualClock};
+
+    #[test]
+    fn uniform_workload_allocates_and_dirties() {
+        let dram = MemoryDevice::dram(64 << 20);
+        let nvm = MemoryDevice::pcm(64 << 20);
+        let clock = VirtualClock::new();
+        let cfg = EngineConfig::default().with_materialization(Materialization::Synthetic);
+        let mut eng = CheckpointEngine::new(0, &dram, &nvm, 32 << 20, clock.clone(), cfg).unwrap();
+        let mut w = UniformWorkload::new(4, 1 << 20, SimDuration::from_secs(1), 1000);
+        w.setup(&mut eng).unwrap();
+        assert_eq!(eng.checkpoint_bytes(), 4 << 20);
+        let t0 = clock.now();
+        w.iterate(&mut eng, 0).unwrap();
+        assert!(clock.now().since(t0) >= SimDuration::from_secs(1));
+        assert_eq!(w.comm_bytes(), 1000);
+        assert_eq!(w.name(), "uniform");
+    }
+}

@@ -1,0 +1,319 @@
+//! The Section-III two-level checkpoint performance model.
+//!
+//! The paper extends the classic 2-level checkpoint model to NVM:
+//!
+//! ```text
+//! T_total = T_compute + T_lcl + O_rmt + T_restart + T_recomp      (1)
+//!
+//! N_lcl  = T_compute / I_lcl            local checkpoint count
+//! t_lcl  = D / NVMBW_core               one local checkpoint
+//! T_lcl  = N_lcl * t_lcl
+//!
+//! F_lcl  = T_compute / MTBF_lcl         soft failures
+//! T_lclrstart + T_lclrecomp = F_lcl * (R_lcl + (I + t_lcl)/2)
+//!
+//! F_rmt  = T_total / MTBF_rmt           hard failures
+//! T_rmtrstart  = F_rmt * R_rmt
+//! T_rmtrecomp  = F_rmt * K * (I + t_lcl)/2
+//! ```
+//!
+//! where `K` is the number of local checkpoints per remote interval
+//! and restart times are assumed proportional to checkpoint times.
+//! Because `F_rmt` depends on `T_total`, the model solves Eq. 1 by
+//! fixed-point iteration.
+
+use nvm_emu::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the closed-form model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Failure-free, checkpoint-free compute time.
+    pub t_compute: SimDuration,
+    /// Per-process checkpoint data size, bytes.
+    pub data_bytes: u64,
+    /// Effective NVM bandwidth per core, bytes/s.
+    pub nvm_bw_core: f64,
+    /// Local checkpoint interval `I`.
+    pub local_interval: SimDuration,
+    /// Local checkpoints per remote checkpoint (`K`).
+    pub k: u32,
+    /// Overhead one *asynchronous* remote checkpoint imposes on the
+    /// application (`o_rmt = alpha_comm + alpha_others`).
+    pub remote_overhead: SimDuration,
+    /// Mean time between locally recoverable (soft) failures.
+    pub mtbf_local: SimDuration,
+    /// Mean time between hard failures needing remote recovery.
+    pub mtbf_remote: SimDuration,
+    /// Local restart fetch time `R_lcl` (the paper assumes it
+    /// proportional to `t_lcl`; callers usually pass `t_lcl * c`).
+    pub r_local: SimDuration,
+    /// Remote restart fetch time `R_rmt`.
+    pub r_remote: SimDuration,
+}
+
+/// Model outputs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelPrediction {
+    /// One local checkpoint, `t_lcl = D / BW`.
+    pub t_lcl: SimDuration,
+    /// Number of local checkpoints.
+    pub n_lcl: f64,
+    /// Total local checkpoint time.
+    pub t_lcl_total: SimDuration,
+    /// Number of remote checkpoints.
+    pub n_rmt: f64,
+    /// Total remote checkpoint overhead.
+    pub o_rmt_total: SimDuration,
+    /// Expected soft failures.
+    pub f_local: f64,
+    /// Expected hard failures.
+    pub f_remote: f64,
+    /// Restart + recompute cost for soft failures.
+    pub local_failure_cost: SimDuration,
+    /// Restart + recompute cost for hard failures.
+    pub remote_failure_cost: SimDuration,
+    /// Total predicted runtime.
+    pub t_total: SimDuration,
+    /// `t_compute / t_total`.
+    pub efficiency: f64,
+}
+
+/// Evaluate the model by fixed-point iteration on `T_total`.
+pub fn evaluate(p: &ModelParams) -> ModelPrediction {
+    assert!(p.nvm_bw_core > 0.0, "bandwidth must be positive");
+    assert!(!p.local_interval.is_zero(), "interval must be nonzero");
+    let t_compute = p.t_compute.as_secs_f64();
+    let t_lcl = p.data_bytes as f64 / p.nvm_bw_core;
+    let interval = p.local_interval.as_secs_f64();
+
+    let n_lcl = t_compute / interval;
+    let t_lcl_total = n_lcl * t_lcl;
+    let n_rmt = n_lcl / p.k.max(1) as f64;
+    let o_rmt_total = n_rmt * p.remote_overhead.as_secs_f64();
+
+    let f_local = t_compute / p.mtbf_local.as_secs_f64();
+    // Soft failure: fetch locally, then redo half an interval + ckpt.
+    let local_cost = f_local * (p.r_local.as_secs_f64() + (interval + t_lcl) / 2.0);
+
+    // Hard-failure terms depend on T_total: fixed-point iterate.
+    let base = t_compute + t_lcl_total + o_rmt_total + local_cost;
+    let mut t_total = base;
+    for _ in 0..100 {
+        let f_remote = t_total / p.mtbf_remote.as_secs_f64();
+        let remote_cost = f_remote
+            * (p.r_remote.as_secs_f64() + p.k.max(1) as f64 * (interval + t_lcl) / 2.0);
+        let next = base + remote_cost;
+        if (next - t_total).abs() < 1e-9 {
+            t_total = next;
+            break;
+        }
+        t_total = next;
+    }
+    let f_remote = t_total / p.mtbf_remote.as_secs_f64();
+    let remote_cost =
+        f_remote * (p.r_remote.as_secs_f64() + p.k.max(1) as f64 * (interval + t_lcl) / 2.0);
+
+    ModelPrediction {
+        t_lcl: SimDuration::from_secs_f64(t_lcl),
+        n_lcl,
+        t_lcl_total: SimDuration::from_secs_f64(t_lcl_total),
+        n_rmt,
+        o_rmt_total: SimDuration::from_secs_f64(o_rmt_total),
+        f_local,
+        f_remote,
+        local_failure_cost: SimDuration::from_secs_f64(local_cost),
+        remote_failure_cost: SimDuration::from_secs_f64(remote_cost),
+        t_total: SimDuration::from_secs_f64(t_total),
+        efficiency: t_compute / t_total,
+    }
+}
+
+/// The best two-level configuration for given failure rates and
+/// costs: sweep the local interval and the local-per-remote ratio `K`
+/// over the model (the Moody et al. direction the paper builds on) and
+/// return the most efficient plan.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TwoLevelPlan {
+    /// Chosen local checkpoint interval.
+    pub local_interval: SimDuration,
+    /// Chosen local checkpoints per remote checkpoint.
+    pub k: u32,
+    /// Predicted efficiency of the plan.
+    pub efficiency: f64,
+}
+
+/// Search interval x K space for the most efficient two-level plan.
+/// `base` supplies everything except `local_interval` and `k`.
+pub fn plan_two_level(base: &ModelParams) -> TwoLevelPlan {
+    let t_lcl = base.data_bytes as f64 / base.nvm_bw_core;
+    // Young's interval anchors the sweep range.
+    let young = optimal_interval(
+        SimDuration::from_secs_f64(t_lcl),
+        base.mtbf_local,
+    )
+    .as_secs_f64();
+    let mut best = TwoLevelPlan {
+        local_interval: base.local_interval,
+        k: base.k.max(1),
+        efficiency: 0.0,
+    };
+    let mut i = (young / 4.0).max(1.0);
+    while i <= young * 4.0 {
+        for k in 1..=24u32 {
+            let mut p = *base;
+            p.local_interval = SimDuration::from_secs_f64(i);
+            p.k = k;
+            let eff = evaluate(&p).efficiency;
+            if eff > best.efficiency {
+                best = TwoLevelPlan {
+                    local_interval: p.local_interval,
+                    k,
+                    efficiency: eff,
+                };
+            }
+        }
+        i *= 1.15;
+    }
+    best
+}
+
+/// Young's approximation for the optimal checkpoint interval,
+/// `I_opt = sqrt(2 * t_ckpt * MTBF)` — used to pick sensible sweep
+/// ranges (the paper cites 30-100 s optimal intervals from Dong et
+/// al.'s exascale estimates).
+pub fn optimal_interval(t_ckpt: SimDuration, mtbf: SimDuration) -> SimDuration {
+    SimDuration::from_secs_f64((2.0 * t_ckpt.as_secs_f64() * mtbf.as_secs_f64()).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_params() -> ModelParams {
+        ModelParams {
+            t_compute: SimDuration::from_secs(3600),
+            data_bytes: 433 << 20, // the paper's GTC per-core size
+            nvm_bw_core: 400.0 * (1 << 20) as f64,
+            local_interval: SimDuration::from_secs(40),
+            k: 3,
+            remote_overhead: SimDuration::from_secs(2),
+            mtbf_local: SimDuration::from_secs(3600),
+            mtbf_remote: SimDuration::from_secs(36_000),
+            r_local: SimDuration::from_secs(1),
+            r_remote: SimDuration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn t_lcl_is_size_over_bandwidth() {
+        let pred = evaluate(&base_params());
+        // 433 MB at 400 MB/s = 1.0825 s
+        assert!((pred.t_lcl.as_secs_f64() - 433.0 / 400.0).abs() < 1e-9);
+        assert!((pred.n_lcl - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_below_one_and_composition_holds() {
+        let p = base_params();
+        let pred = evaluate(&p);
+        assert!(pred.efficiency > 0.5 && pred.efficiency < 1.0);
+        let total = p.t_compute.as_secs_f64()
+            + pred.t_lcl_total.as_secs_f64()
+            + pred.o_rmt_total.as_secs_f64()
+            + pred.local_failure_cost.as_secs_f64()
+            + pred.remote_failure_cost.as_secs_f64();
+        assert!((total - pred.t_total.as_secs_f64()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_bandwidth_means_higher_efficiency() {
+        let mut lo = base_params();
+        lo.nvm_bw_core = 100.0 * (1 << 20) as f64;
+        let mut hi = base_params();
+        hi.nvm_bw_core = 2048.0 * (1 << 20) as f64;
+        assert!(evaluate(&hi).efficiency > evaluate(&lo).efficiency);
+    }
+
+    #[test]
+    fn lower_remote_overhead_means_higher_efficiency() {
+        // The pre-copy claim in model form: shrinking o_rmt lifts
+        // efficiency.
+        let mut pre = base_params();
+        pre.remote_overhead = SimDuration::from_secs_f64(2.0 * 0.6);
+        let no = base_params();
+        assert!(evaluate(&pre).efficiency > evaluate(&no).efficiency);
+    }
+
+    #[test]
+    fn failure_free_limit() {
+        let mut p = base_params();
+        p.mtbf_local = SimDuration::from_secs(1 << 33);
+        p.mtbf_remote = SimDuration::from_secs(1 << 33);
+        let pred = evaluate(&p);
+        assert!(pred.f_local < 1e-6 && pred.f_remote < 1e-6);
+        let expected = p.t_compute.as_secs_f64()
+            + pred.t_lcl_total.as_secs_f64()
+            + pred.o_rmt_total.as_secs_f64();
+        assert!((pred.t_total.as_secs_f64() - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hard_failures_cost_more_per_event_than_soft() {
+        let pred = evaluate(&base_params());
+        let per_soft = pred.local_failure_cost.as_secs_f64() / pred.f_local;
+        let per_hard = pred.remote_failure_cost.as_secs_f64() / pred.f_remote;
+        assert!(
+            per_hard > per_soft,
+            "K local intervals redone per hard failure"
+        );
+    }
+
+    #[test]
+    fn fixed_point_converges_even_with_frequent_hard_failures() {
+        let mut p = base_params();
+        p.mtbf_remote = SimDuration::from_secs(1800);
+        let pred = evaluate(&p);
+        assert!(pred.t_total.as_secs_f64().is_finite());
+        assert!(pred.t_total > p.t_compute);
+    }
+
+    #[test]
+    fn planner_tracks_failure_regimes() {
+        let base = base_params();
+        let plan = plan_two_level(&base);
+        assert!(plan.efficiency > evaluate(&base).efficiency - 1e-12,
+            "planned config can only improve on the default");
+        assert!(plan.k >= 1);
+
+        // Frequent hard failures -> remote checkpoints more often
+        // (smaller K).
+        let mut hardy = base;
+        hardy.mtbf_remote = SimDuration::from_secs(1200);
+        let plan_hardy = plan_two_level(&hardy);
+        assert!(
+            plan_hardy.k <= plan.k,
+            "K must shrink under hard failures: {} vs {}",
+            plan_hardy.k,
+            plan.k
+        );
+
+        // Frequent soft failures -> shorter local interval.
+        let mut softy = base;
+        softy.mtbf_local = SimDuration::from_secs(300);
+        let plan_softy = plan_two_level(&softy);
+        assert!(
+            plan_softy.local_interval < plan.local_interval,
+            "interval must shrink under soft failures: {} vs {}",
+            plan_softy.local_interval,
+            plan.local_interval
+        );
+    }
+
+    #[test]
+    fn youngs_interval() {
+        let i = optimal_interval(SimDuration::from_secs(1), SimDuration::from_secs(3600));
+        // sqrt(2 * 1 * 3600) = 84.85 s — inside the paper's 30-100 s.
+        assert!((i.as_secs_f64() - 84.852).abs() < 0.01);
+    }
+}

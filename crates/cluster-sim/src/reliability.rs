@@ -1,0 +1,138 @@
+//! Buddy-pair reliability model.
+//!
+//! Section IV of the paper motivates the remote level with Zheng et
+//! al.'s FTC-Charm++ result: "just by adding one more level of
+//! checkpointing to a buddy compute node in a different rack, the
+//! probability of unrecoverable failure can be as low as **0.000977%**
+//! for an MTBF of 20 years per node, 5000 nodes, checkpoint interval
+//! of 6 minutes and 1200 hours of application time."
+//!
+//! A run becomes unrecoverable only when a node *and its buddy* both
+//! fail within the same checkpoint interval (the window in which the
+//! buddy holds the sole surviving copy). With per-node failure
+//! probability `p = interval / MTBF` per interval, `N/2` buddy pairs
+//! and `T / interval` intervals:
+//!
+//! ```text
+//! P_unrecoverable ≈ (N/2) * (T/interval) * p^2
+//! ```
+//!
+//! [`unrecoverable_probability`] evaluates the exact survival product
+//! (the approximation above is its first-order expansion) and the
+//! tests reproduce the 0.000977% figure.
+
+use nvm_emu::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the buddy-pair reliability question.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityParams {
+    /// Total compute nodes (paired into buddies).
+    pub nodes: u64,
+    /// Per-node MTBF.
+    pub node_mtbf: SimDuration,
+    /// Checkpoint interval (the double-failure vulnerability window).
+    pub interval: SimDuration,
+    /// Application runtime.
+    pub runtime: SimDuration,
+}
+
+impl ReliabilityParams {
+    /// Zheng et al.'s quoted configuration: 20-year node MTBF, 5000
+    /// nodes, 6-minute checkpoint interval, 1200 hours of runtime.
+    pub fn zheng_ftc_charm() -> Self {
+        ReliabilityParams {
+            nodes: 5000,
+            node_mtbf: SimDuration::from_secs(20 * 365 * 24 * 3600),
+            interval: SimDuration::from_secs(6 * 60),
+            runtime: SimDuration::from_secs(1200 * 3600),
+        }
+    }
+}
+
+/// Probability one node fails within a single checkpoint interval.
+pub fn per_interval_failure(p: &ReliabilityParams) -> f64 {
+    p.interval.as_secs_f64() / p.node_mtbf.as_secs_f64()
+}
+
+/// Probability the whole run hits at least one unrecoverable
+/// (same-interval buddy-pair) double failure. Exact survival product
+/// over all pairs and intervals.
+pub fn unrecoverable_probability(p: &ReliabilityParams) -> f64 {
+    let pf = per_interval_failure(p);
+    let pairs = p.nodes as f64 / 2.0;
+    let intervals = p.runtime.as_secs_f64() / p.interval.as_secs_f64();
+    // Survival: no pair double-fails in any interval.
+    let per_pair_interval_survive = 1.0 - pf * pf;
+    1.0 - per_pair_interval_survive.powf(pairs * intervals)
+}
+
+/// Expected number of *recoverable* single-node failures over the run
+/// (what the local level absorbs).
+pub fn expected_failures(p: &ReliabilityParams) -> f64 {
+    p.nodes as f64 * p.runtime.as_secs_f64() / p.node_mtbf.as_secs_f64()
+}
+
+/// How much the second (remote) level buys: the ratio between losing
+/// the run on *any* single failure (local-only checkpointing with
+/// volatile storage) and losing it only on a buddy double failure.
+pub fn remote_level_improvement(p: &ReliabilityParams) -> f64 {
+    // P(at least one node failure over the run), Poisson.
+    let single_loss = 1.0 - (-expected_failures(p)).exp();
+    single_loss / unrecoverable_probability(p).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_zhengs_0_000977_percent() {
+        let p = ReliabilityParams::zheng_ftc_charm();
+        let prob = unrecoverable_probability(&p);
+        let percent = prob * 100.0;
+        assert!(
+            (percent - 0.000977).abs() < 0.00002,
+            "expected 0.000977%, got {percent:.6}%"
+        );
+    }
+
+    #[test]
+    fn first_order_approximation_matches_exact() {
+        let p = ReliabilityParams::zheng_ftc_charm();
+        let pf = per_interval_failure(&p);
+        let approx = (p.nodes as f64 / 2.0)
+            * (p.runtime.as_secs_f64() / p.interval.as_secs_f64())
+            * pf
+            * pf;
+        let exact = unrecoverable_probability(&p);
+        assert!((approx / exact - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shorter_intervals_improve_reliability() {
+        let base = ReliabilityParams::zheng_ftc_charm();
+        let mut tight = base;
+        tight.interval = SimDuration::from_secs(60);
+        assert!(unrecoverable_probability(&tight) < unrecoverable_probability(&base));
+    }
+
+    #[test]
+    fn more_nodes_hurt_linearly() {
+        let base = ReliabilityParams::zheng_ftc_charm();
+        let mut big = base;
+        big.nodes = 50_000;
+        let ratio = unrecoverable_probability(&big) / unrecoverable_probability(&base);
+        assert!((ratio - 10.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn the_run_sees_many_recoverable_failures() {
+        // The same configuration sees ~34 single-node failures over the
+        // run — exactly why the local level must be cheap and frequent.
+        let p = ReliabilityParams::zheng_ftc_charm();
+        let f = expected_failures(&p);
+        assert!((30.0..40.0).contains(&f), "expected ~34 failures, got {f}");
+        assert!(remote_level_improvement(&p) > 1e3);
+    }
+}

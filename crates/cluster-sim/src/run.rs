@@ -1,0 +1,796 @@
+//! The multi-node checkpoint simulator.
+//!
+//! [`ClusterSim`] reproduces the paper's experimental setup: a cluster
+//! of nodes (8 x 12 cores in the paper), one MPI rank per core, each
+//! rank running a [`Workload`] against its own [`CheckpointEngine`].
+//! Ranks advance private virtual clocks in parallel and synchronize at
+//! coordinated checkpoints (a barrier takes every clock to the max).
+//! Per-node NVM devices model intra-node bandwidth contention; per-node
+//! links, helper processes, and buddy-node [`RemoteStore`]s model the
+//! remote checkpoint path.
+//!
+//! Two remote modes are simulated:
+//!
+//! * **no pre-copy** — at each remote interval the helper ships the
+//!   entire checkpoint in one burst at full link rate; application
+//!   communication that overlaps the burst suffers contention.
+//! * **remote pre-copy** — every iteration the helper scans for
+//!   chunks that are remote-stale but locally stable and ships them
+//!   spread over the iteration window; only a small residue moves at
+//!   the remote interval. Peak link usage drops accordingly (Fig. 10).
+//!
+//! Failure handling is phase-level: soft failures charge the local
+//! restart cost and roll execution back to the last local checkpoint;
+//! hard failures charge a remote fetch over the interconnect and roll
+//! back to the last *remote* checkpoint. (The byte-level hard-failure
+//! path — destroy NVM, fetch from the buddy store, verify checksums —
+//! is exercised end-to-end in the integration tests.)
+
+use crate::app::Workload;
+use crate::comm::AlphaBeta;
+use crate::failure::{FailureConfig, FailureKind, FailureSchedule};
+use crate::schedule::{Activity, ScheduleTrace};
+use nvm_chkpt::{CheckpointEngine, EngineConfig, EngineError, EngineStats, EpochReport};
+use nvm_emu::{BandwidthModel, MemoryDevice, SimDuration, SimTime, VirtualClock};
+use rdma_sim::armci::RemoteError;
+use rdma_sim::{HelperParams, HelperProcess, HelperStats, Link, RemoteStore, UsageTrace};
+use serde::{Deserialize, Serialize};
+
+/// Remote checkpointing configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteConfig {
+    /// Remote checkpoint interval (>= local interval; the paper uses
+    /// 47-180 s against a 40 s local interval).
+    pub interval: SimDuration,
+    /// Remote pre-copy on/off.
+    pub precopy: bool,
+    /// Per-node link bandwidth, bytes/s.
+    pub link_bandwidth: f64,
+    /// Helper cost parameters.
+    pub helper: HelperParams,
+}
+
+impl RemoteConfig {
+    /// 40 Gb/s InfiniBand with default helper costs.
+    pub fn infiniband(interval: SimDuration, precopy: bool) -> Self {
+        RemoteConfig {
+            interval,
+            precopy,
+            link_bandwidth: rdma_sim::IB_40GBPS,
+            helper: HelperParams::default(),
+        }
+    }
+}
+
+/// Cluster/run configuration.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Ranks (cores) per node.
+    pub ranks_per_node: usize,
+    /// NVM container bytes per rank.
+    pub container_bytes: usize,
+    /// Engine configuration (pre-copy policy, versioning, ...).
+    pub engine: EngineConfig,
+    /// Fixed effective NVM bandwidth per core; `None` uses the
+    /// contended Figure-4 curve.
+    pub nvm_bw_per_core: Option<f64>,
+    /// Local checkpoint interval; `None` disables local checkpoints
+    /// (ideal runs).
+    pub local_interval: Option<SimDuration>,
+    /// Remote checkpointing; `None` disables it.
+    pub remote: Option<RemoteConfig>,
+    /// Iterations to run.
+    pub iterations: u64,
+    /// Failure injection; `None` is a failure-free run.
+    pub failures: Option<FailureConfig>,
+    /// Horizon for failure-schedule generation.
+    pub failure_horizon: SimDuration,
+}
+
+impl ClusterConfig {
+    /// A small default cluster (the paper's 8 nodes x 12 cores is the
+    /// bench-scale setting; tests use fewer ranks).
+    pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            ranks_per_node,
+            container_bytes: 64 << 20,
+            engine: EngineConfig::default()
+                .with_materialization(nvm_chkpt::Materialization::Synthetic)
+                .with_checksums(false)
+                .with_node_concurrency(ranks_per_node),
+            nvm_bw_per_core: None,
+            local_interval: Some(SimDuration::from_secs(40)),
+            remote: None,
+            iterations: 10,
+            failures: None,
+            failure_horizon: SimDuration::from_secs(86_400),
+        }
+    }
+
+    /// The matching ideal (no checkpoint, no failure) configuration —
+    /// the denominator of the paper's efficiency metric.
+    pub fn ideal_variant(&self) -> Self {
+        let mut c = self.clone();
+        c.engine = c.engine.with_precopy(nvm_chkpt::PrecopyPolicy::None);
+        c.local_interval = None;
+        c.remote = None;
+        c.failures = None;
+        c
+    }
+}
+
+/// Errors from a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// Engine-level failure.
+    Engine(EngineError),
+    /// Remote-store failure.
+    Remote(RemoteError),
+}
+
+impl From<EngineError> for SimError {
+    fn from(e: EngineError) -> Self {
+        SimError::Engine(e)
+    }
+}
+
+impl From<RemoteError> for SimError {
+    fn from(e: RemoteError) -> Self {
+        SimError::Remote(e)
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Engine(e) => write!(f, "engine: {e}"),
+            SimError::Remote(e) => write!(f, "remote: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Results of one simulated run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Wall (virtual) time of the whole run.
+    pub total_time: SimDuration,
+    /// Iterations executed (including redone ones).
+    pub iterations_executed: u64,
+    /// Coordinated local checkpoints taken.
+    pub local_checkpoints: u64,
+    /// Remote checkpoints committed.
+    pub remote_checkpoints: u64,
+    /// Engine statistics summed over every rank.
+    pub engine_stats: EngineStats,
+    /// Rank 0's per-epoch reports.
+    pub rank0_epochs: Vec<EpochReport>,
+    /// Per-node link usage traces.
+    pub link_traces: Vec<UsageTrace>,
+    /// Per-node helper statistics.
+    pub helper_stats: Vec<HelperStats>,
+    /// Per-node helper core utilization.
+    pub helper_utilization: Vec<f64>,
+    /// Soft failures handled.
+    pub soft_failures: u64,
+    /// Hard failures handled.
+    pub hard_failures: u64,
+    /// Iterations redone due to failures.
+    pub lost_iterations: u64,
+    /// Rank 0's activity schedule.
+    pub schedule: ScheduleTrace,
+    /// Checkpoint bytes per rank (`D`).
+    pub checkpoint_bytes_per_rank: u64,
+}
+
+impl RunResult {
+    /// Efficiency against an ideal run: `ideal / actual`.
+    pub fn efficiency_vs(&self, ideal: &RunResult) -> f64 {
+        ideal.total_time.as_secs_f64() / self.total_time.as_secs_f64()
+    }
+
+    /// Peak interconnect usage (bytes in the busiest bucket) over all
+    /// node links.
+    pub fn peak_link_bytes(&self) -> f64 {
+        self.link_traces
+            .iter()
+            .map(|t| t.peak_bytes())
+            .fold(0.0, f64::max)
+    }
+}
+
+struct Rank {
+    global: u64,
+    clock: VirtualClock,
+    engine: CheckpointEngine,
+    workload: Box<dyn Workload>,
+}
+
+struct NodeDevices {
+    link: Link,
+    helper: HelperProcess,
+    /// Checkpoint flows in flight: (ends_at, rate bytes/s) — they
+    /// contend with application communication until they drain.
+    flows: Vec<(SimTime, f64)>,
+}
+
+impl NodeDevices {
+    fn add_flow(&mut self, end: SimTime, rate: f64) {
+        self.flows.push((end, rate));
+    }
+
+    /// Aggregate checkpoint-traffic rate active at `now` (prunes
+    /// finished flows).
+    fn active_rate(&mut self, now: SimTime) -> f64 {
+        self.flows.retain(|(end, _)| *end > now);
+        self.flows.iter().map(|(_, r)| r).sum()
+    }
+}
+
+/// The simulator.
+pub struct ClusterSim {
+    config: ClusterConfig,
+    ranks: Vec<Vec<Rank>>, // [node][rank]
+    nodes: Vec<NodeDevices>,
+    stores: Vec<RemoteStore>, // stores[i] holds node i's data (on buddy NVM)
+}
+
+impl ClusterSim {
+    /// Build a cluster; `factory(global_rank)` creates each rank's
+    /// workload.
+    pub fn new(
+        config: ClusterConfig,
+        mut factory: impl FnMut(u64) -> Box<dyn Workload>,
+    ) -> Result<Self, SimError> {
+        assert!(config.nodes > 0 && config.ranks_per_node > 0);
+        let per_rank_nvm = config.container_bytes * 2 + (4 << 20);
+        let node_nvm_capacity = per_rank_nvm * config.ranks_per_node
+            + config.container_bytes * 2 * config.ranks_per_node; // headroom for buddy data
+        let node_dram_capacity = config.container_bytes * config.ranks_per_node + (64 << 20);
+
+        let mut nvms = Vec::new();
+        let mut drams = Vec::new();
+        for _ in 0..config.nodes {
+            let nvm = MemoryDevice::pcm(node_nvm_capacity);
+            if let Some(bw) = config.nvm_bw_per_core {
+                nvm.set_model(BandwidthModel::fixed_per_core(bw));
+            }
+            nvms.push(nvm);
+            drams.push(MemoryDevice::dram(node_dram_capacity));
+        }
+
+        let link_bw = config
+            .remote
+            .map(|r| r.link_bandwidth)
+            .unwrap_or(rdma_sim::IB_40GBPS);
+        let helper_params = config.remote.map(|r| r.helper).unwrap_or_default();
+
+        let mut ranks = Vec::new();
+        let mut nodes = Vec::new();
+        let mut stores = Vec::new();
+        for n in 0..config.nodes {
+            let mut node_ranks = Vec::new();
+            for r in 0..config.ranks_per_node {
+                let global = (n * config.ranks_per_node + r) as u64;
+                let clock = VirtualClock::new();
+                let mut engine = CheckpointEngine::new(
+                    global,
+                    &drams[n],
+                    &nvms[n],
+                    config.container_bytes,
+                    clock.clone(),
+                    config.engine,
+                )?;
+                let mut workload = factory(global);
+                workload.setup(&mut engine)?;
+                node_ranks.push(Rank {
+                    global,
+                    clock,
+                    engine,
+                    workload,
+                });
+            }
+            ranks.push(node_ranks);
+            nodes.push(NodeDevices {
+                link: Link::new(link_bw),
+                helper: HelperProcess::with_params(helper_params),
+                flows: Vec::new(),
+            });
+            let buddy = (n + 1) % config.nodes;
+            stores.push(RemoteStore::new(&nvms[buddy], false));
+        }
+        Ok(ClusterSim {
+            config,
+            ranks,
+            nodes,
+            stores,
+        })
+    }
+
+    fn max_time(&self) -> SimTime {
+        self.ranks
+            .iter()
+            .flatten()
+            .map(|r| r.clock.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    fn barrier(&mut self) -> SimTime {
+        let t = self.max_time();
+        for r in self.ranks.iter().flatten() {
+            r.clock.advance_to(t);
+        }
+        t
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> Result<RunResult, SimError> {
+        let mut trace = ScheduleTrace::new();
+        let mut failures = match &self.config.failures {
+            Some(cfg) => FailureSchedule::generate(
+                cfg,
+                SimTime::ZERO + self.config.failure_horizon,
+                self.config.nodes,
+            ),
+            None => FailureSchedule::none(),
+        };
+
+        let mut iter: u64 = 0;
+        let mut executed: u64 = 0;
+        let mut lost: u64 = 0;
+        let mut soft = 0u64;
+        let mut hard = 0u64;
+        let mut local_ckpts = 0u64;
+        let mut remote_ckpts = 0u64;
+        let mut last_local_end = SimTime::ZERO;
+        let mut last_remote_end = SimTime::ZERO;
+        let mut last_local_iter: u64 = 0;
+        let mut last_remote_iter: u64 = 0;
+
+        let d_per_rank = self.ranks[0][0].engine.checkpoint_bytes() as u64;
+
+        while iter < self.config.iterations {
+            let iter_start = self.max_time();
+
+            // -- failures that struck before this iteration ------------
+            for ev in failures.drain_due(iter_start) {
+                match ev.kind {
+                    FailureKind::Soft => {
+                        soft += 1;
+                        let restart = self.local_restart_cost();
+                        let t = self.barrier() + restart;
+                        for r in self.ranks.iter().flatten() {
+                            r.clock.advance_to(t);
+                        }
+                        trace.record(Activity::Restart, t - restart, t);
+                        lost += iter - last_local_iter;
+                        iter = last_local_iter;
+                    }
+                    FailureKind::Hard => {
+                        hard += 1;
+                        let restart = self.remote_restart_cost(d_per_rank);
+                        let t = self.barrier() + restart;
+                        for r in self.ranks.iter().flatten() {
+                            r.clock.advance_to(t);
+                        }
+                        trace.record(Activity::Restart, t - restart, t);
+                        lost += iter - last_remote_iter;
+                        iter = last_remote_iter;
+                    }
+                }
+            }
+
+            // -- 1: application iteration -------------------------------
+            let rank0_before = self.ranks[0][0].clock.now();
+            for node_ranks in self.ranks.iter_mut() {
+                for rank in node_ranks.iter_mut() {
+                    rank.workload.iterate(&mut rank.engine, iter)?;
+                }
+            }
+            trace.record(
+                Activity::Compute,
+                rank0_before,
+                self.ranks[0][0].clock.now(),
+            );
+            executed += 1;
+
+            // -- 2: helper polling + link contention --------------------
+            if let Some(rc) = self.config.remote {
+                for n in 0..self.config.nodes {
+                    let window_end = self.ranks[n]
+                        .iter()
+                        .map(|r| r.clock.now())
+                        .max()
+                        .unwrap_or(iter_start);
+                    let window = window_end.since(iter_start).max(SimDuration::from_millis(1));
+                    if rc.precopy {
+                        // The helper continuously polls nvdirty state.
+                        let chunk_count: usize = self.ranks[n]
+                            .iter()
+                            .map(|r| r.engine.heap().len())
+                            .sum();
+                        self.nodes[n].helper.scan(chunk_count);
+                    }
+                    self.nodes[n].helper.advance(window);
+
+                    // Contention between application communication and
+                    // in-flight checkpoint traffic (spread or burst):
+                    // every round of every collective is slowed by the
+                    // checkpoint's share of the link.
+                    let rate = self.nodes[n].active_rate(iter_start);
+                    if rate > 0.0 {
+                        let fabric = AlphaBeta::infiniband(self.nodes[n].link.capacity());
+                        let total_ranks = self.config.nodes * self.config.ranks_per_node;
+                        for rank in self.ranks[n].iter_mut() {
+                            let delay = rank
+                                .workload
+                                .comm_pattern()
+                                .contention_delay(total_ranks, &fabric, rate);
+                            if !delay.is_zero() {
+                                rank.clock.advance(delay);
+                                if n == 0 && rank.global == 0 {
+                                    trace.record(
+                                        Activity::Blocked,
+                                        rank.clock.now() - delay,
+                                        rank.clock.now(),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            iter += 1;
+
+            // -- 3: coordinated local checkpoint ------------------------
+            let now = self.max_time();
+            let local_due = match self.config.local_interval {
+                Some(interval) => {
+                    now.since(last_local_end) >= interval || iter == self.config.iterations
+                }
+                None => false,
+            };
+            if local_due {
+                let t0 = self.barrier();
+                for node_ranks in self.ranks.iter_mut() {
+                    for rank in node_ranks.iter_mut() {
+                        rank.engine.nvchkptall()?;
+                    }
+                }
+                let t1 = self.barrier();
+                trace.record(Activity::LocalCheckpoint, t0, t1);
+                last_local_end = t1;
+                last_local_iter = iter;
+                local_ckpts += 1;
+
+                // -- 4: remote checkpointing ----------------------------
+                if let Some(rc) = self.config.remote {
+                    let remote_due = t1.since(last_remote_end) >= rc.interval;
+                    // Commit first: everything shipped during previous
+                    // intervals has arrived and forms the remote
+                    // snapshot.
+                    if remote_due {
+                        for n in 0..self.config.nodes {
+                            for rank in self.ranks[n].iter() {
+                                self.stores[n].commit_rank(rank.global, remote_ckpts);
+                            }
+                        }
+                        last_remote_end = t1;
+                        last_remote_iter = iter;
+                        remote_ckpts += 1;
+                    }
+                    let local_int = self
+                        .config
+                        .local_interval
+                        .unwrap_or(rc.interval)
+                        .max(SimDuration::from_millis(1));
+                    // Remote DCPCP delay: shipping starts in the last
+                    // local interval before the remote boundary, so
+                    // chunks re-modified earlier are not shipped over
+                    // and over ("the delay time before a remote
+                    // pre-copy is dependent on the remote checkpoint
+                    // interval").
+                    let next_remote = last_remote_end + rc.interval;
+                    let ship_now = rc.precopy && t1 + local_int >= next_remote;
+                    if ship_now {
+                        // The helper ships the freshly committed NVM
+                        // state chunk-by-chunk at its incremental copy
+                        // rate — a low, flat wire rate (about half the
+                        // bulk staging rate), which is what halves the
+                        // peak in Figure 10.
+                        let incr_bw = rc.helper.incremental_bandwidth;
+                        let mut cluster_end = t1;
+                        for n in 0..self.config.nodes {
+                            let mut shipped: u64 = 0;
+                            for rank in self.ranks[n].iter_mut() {
+                                for id in rank.engine.remote_stable_chunks() {
+                                    let len = rank.engine.chunk_len(id)? as u64;
+                                    self.stores[n].put_synthetic(
+                                        rank.global,
+                                        id,
+                                        len as usize,
+                                    )?;
+                                    self.nodes[n].helper.copy_chunk(len);
+                                    rank.engine.mark_remote_copied(id);
+                                    shipped += len;
+                                }
+                            }
+                            if shipped > 0 {
+                                let window =
+                                    SimDuration::for_transfer(shipped, incr_bw);
+                                let dur = self.nodes[n]
+                                    .link
+                                    .transfer_spread(t1, shipped, window);
+                                let rate = shipped as f64 / dur.as_secs_f64();
+                                self.nodes[n].add_flow(t1 + dur, rate);
+                                cluster_end = cluster_end.max(t1 + dur);
+                            }
+                        }
+                        trace.record(Activity::RemoteCheckpoint, t1, cluster_end);
+                    } else if !rc.precopy && remote_due {
+                        // No pre-copy: ship the entire committed
+                        // checkpoint as one full-rate burst.
+                        let mut cluster_end = t1;
+                        for n in 0..self.config.nodes {
+                            let mut volume: u64 = 0;
+                            for rank in self.ranks[n].iter_mut() {
+                                for id in rank.engine.heap().persistent_ids() {
+                                    let len = rank.engine.chunk_len(id)? as u64;
+                                    self.stores[n].put_synthetic(
+                                        rank.global,
+                                        id,
+                                        len as usize,
+                                    )?;
+                                    self.nodes[n].helper.copy_bulk(len);
+                                    rank.engine.mark_remote_copied(id);
+                                    volume += len;
+                                }
+                            }
+                            if volume > 0 {
+                                // The burst is staged by the helper at
+                                // its bulk copy rate (the wire itself
+                                // is faster but fed by one core).
+                                let window = SimDuration::for_transfer(
+                                    volume,
+                                    rc.helper.bulk_bandwidth,
+                                );
+                                let dur = self.nodes[n]
+                                    .link
+                                    .transfer_spread(t1, volume, window);
+                                let rate = volume as f64 / dur.as_secs_f64();
+                                self.nodes[n].add_flow(t1 + dur, rate);
+                                cluster_end = cluster_end.max(t1 + dur);
+                            }
+                        }
+                        trace.record(Activity::RemoteCheckpoint, t1, cluster_end);
+                    }
+                }
+            }
+        }
+
+        let total_time = self.barrier().since(SimTime::ZERO);
+        let mut engine_stats = EngineStats::default();
+        for r in self.ranks.iter().flatten() {
+            let s = r.engine.stats();
+            engine_stats.checkpoints += s.checkpoints;
+            engine_stats.precopied_bytes += s.precopied_bytes;
+            engine_stats.coordinated_bytes += s.coordinated_bytes;
+            engine_stats.skipped_bytes += s.skipped_bytes;
+            engine_stats.wasted_precopy_bytes += s.wasted_precopy_bytes;
+            engine_stats.coordinated_time += s.coordinated_time;
+            engine_stats.interference_time += s.interference_time;
+            engine_stats.fault_time += s.fault_time;
+            engine_stats.faults += s.faults;
+        }
+        Ok(RunResult {
+            total_time,
+            iterations_executed: executed,
+            local_checkpoints: local_ckpts,
+            remote_checkpoints: remote_ckpts,
+            engine_stats,
+            rank0_epochs: self.ranks[0][0].engine.log().to_vec(),
+            link_traces: self
+                .nodes
+                .iter()
+                .map(|n| n.link.trace().clone())
+                .collect(),
+            helper_stats: self.nodes.iter().map(|n| n.helper.stats()).collect(),
+            helper_utilization: self
+                .nodes
+                .iter()
+                .map(|n| n.helper.cpu_utilization())
+                .collect(),
+            soft_failures: soft,
+            hard_failures: hard,
+            lost_iterations: lost,
+            schedule: trace,
+            checkpoint_bytes_per_rank: d_per_rank,
+        })
+    }
+
+    /// Local restart cost: metadata load + reading `D` back from NVM at
+    /// the contended per-core read bandwidth (all ranks restart at
+    /// once).
+    fn local_restart_cost(&self) -> SimDuration {
+        let d = self.ranks[0][0].engine.checkpoint_bytes() as u64;
+        let nvm = self.ranks[0][0].engine.heap().nvm();
+        let bw = nvm.per_core_bandwidth(self.config.ranks_per_node, 32 << 20);
+        let params = nvm.params();
+        let read_bw = bw * (params.read_bandwidth / params.write_bandwidth);
+        SimDuration::for_transfer(d, read_bw.max(1.0)) + SimDuration::from_millis(5)
+    }
+
+    /// Remote restart cost: the whole node's checkpoint crosses the
+    /// interconnect from the buddy, then loads into memory.
+    fn remote_restart_cost(&self, d_per_rank: u64) -> SimDuration {
+        let node_bytes = d_per_rank * self.config.ranks_per_node as u64;
+        let link_bw = self
+            .config
+            .remote
+            .map(|r| r.link_bandwidth)
+            .unwrap_or(rdma_sim::IB_40GBPS);
+        SimDuration::for_transfer(node_bytes, link_bw) + self.local_restart_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::UniformWorkload;
+    use nvm_chkpt::PrecopyPolicy;
+
+    const MB: usize = 1 << 20;
+
+    fn small_config() -> ClusterConfig {
+        let mut c = ClusterConfig::new(2, 2);
+        c.container_bytes = 24 * MB;
+        c.local_interval = Some(SimDuration::from_secs(5));
+        c.iterations = 8;
+        c
+    }
+
+    fn factory(_g: u64) -> Box<dyn Workload> {
+        Box::new(UniformWorkload::new(
+            4,
+            2 * MB,
+            SimDuration::from_secs(2),
+            1 << 20,
+        ))
+    }
+
+    #[test]
+    fn basic_run_completes_with_checkpoints() {
+        let sim = ClusterSim::new(small_config(), factory).unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.iterations_executed, 8);
+        assert!(r.local_checkpoints >= 2, "got {}", r.local_checkpoints);
+        assert!(r.total_time > SimDuration::from_secs(16));
+        assert_eq!(r.checkpoint_bytes_per_rank, 8 * MB as u64);
+        assert!(r.engine_stats.checkpoints >= 8); // 4 ranks x >= 2
+    }
+
+    #[test]
+    fn ideal_variant_is_faster_than_checkpointed() {
+        let cfg = small_config();
+        let actual = ClusterSim::new(cfg.clone(), factory).unwrap().run().unwrap();
+        let ideal = ClusterSim::new(cfg.ideal_variant(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(ideal.local_checkpoints, 0);
+        assert!(ideal.total_time < actual.total_time);
+        let eff = actual.efficiency_vs(&ideal);
+        assert!(eff > 0.3 && eff < 1.0, "efficiency {eff}");
+    }
+
+    #[test]
+    fn precopy_beats_no_precopy_on_total_time() {
+        let mut pre = small_config();
+        pre.engine = pre.engine.with_precopy(PrecopyPolicy::Dcpcp);
+        let mut nopre = small_config();
+        nopre.engine = nopre.engine.with_precopy(PrecopyPolicy::None);
+        let r_pre = ClusterSim::new(pre, factory).unwrap().run().unwrap();
+        let r_no = ClusterSim::new(nopre, factory).unwrap().run().unwrap();
+        assert!(
+            r_pre.total_time < r_no.total_time,
+            "precopy {} vs none {}",
+            r_pre.total_time,
+            r_no.total_time
+        );
+        assert!(r_pre.engine_stats.precopied_bytes > 0);
+        assert_eq!(r_no.engine_stats.precopied_bytes, 0);
+    }
+
+    #[test]
+    fn remote_precopy_halves_peak_link_usage() {
+        // Volumes must exceed one trace bucket's worth of staging rate
+        // for the rate difference to be visible: 4 x 160 MB per rank.
+        let big_factory = |_g: u64| -> Box<dyn Workload> {
+            Box::new(UniformWorkload::new(
+                4,
+                160 * MB,
+                SimDuration::from_secs(2),
+                1 << 20,
+            ))
+        };
+        let mut pre = small_config();
+        pre.container_bytes = 1400 * MB;
+        pre.iterations = 12;
+        pre.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+        let mut nopre = pre.clone();
+        nopre.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), false));
+        nopre.engine = nopre.engine.with_precopy(PrecopyPolicy::None);
+
+        let r_pre = ClusterSim::new(pre, big_factory).unwrap().run().unwrap();
+        let r_no = ClusterSim::new(nopre, big_factory).unwrap().run().unwrap();
+        assert!(r_pre.remote_checkpoints >= 1);
+        assert!(r_no.remote_checkpoints >= 1);
+        let peak_pre = r_pre.peak_link_bytes();
+        let peak_no = r_no.peak_link_bytes();
+        assert!(
+            peak_pre < peak_no * 0.7,
+            "pre-copy peak {peak_pre} should be well under burst peak {peak_no}"
+        );
+    }
+
+    #[test]
+    fn schedule_shape_matches_figure_1() {
+        let sim = ClusterSim::new(small_config(), factory).unwrap();
+        let r = sim.run().unwrap();
+        let seq = r.schedule.sequence();
+        // Compute and LocalCheckpoint must alternate somewhere.
+        let has_c_then_l = seq
+            .windows(2)
+            .any(|w| w == [Activity::Compute, Activity::LocalCheckpoint]);
+        assert!(has_c_then_l, "sequence {seq:?}");
+        assert!(!r
+            .schedule
+            .overlaps(Activity::Compute, Activity::LocalCheckpoint));
+    }
+
+    #[test]
+    fn soft_failures_cause_rollback_and_restart_time() {
+        let mut cfg = small_config();
+        cfg.iterations = 10;
+        cfg.failures = Some(FailureConfig {
+            seed: 11,
+            mtbf_soft: SimDuration::from_secs(15),
+            mtbf_hard: SimDuration::from_secs(1_000_000),
+        });
+        cfg.failure_horizon = SimDuration::from_secs(300);
+        let r = ClusterSim::new(cfg.clone(), factory).unwrap().run().unwrap();
+        assert!(r.soft_failures > 0, "expected soft failures");
+        assert_eq!(r.hard_failures, 0);
+        assert!(r.schedule.total(Activity::Restart) > SimDuration::ZERO);
+        // Failures make the run slower than a failure-free one.
+        let mut clean = cfg;
+        clean.failures = None;
+        let r_clean = ClusterSim::new(clean, factory).unwrap().run().unwrap();
+        assert!(r.total_time > r_clean.total_time);
+        assert!(r.iterations_executed >= r_clean.iterations_executed);
+    }
+
+    #[test]
+    fn helper_utilization_higher_with_precopy() {
+        let mut pre = small_config();
+        pre.iterations = 12;
+        pre.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+        let mut nopre = pre.clone();
+        nopre.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), false));
+        nopre.engine = nopre.engine.with_precopy(PrecopyPolicy::None);
+        let r_pre = ClusterSim::new(pre, factory).unwrap().run().unwrap();
+        let r_no = ClusterSim::new(nopre, factory).unwrap().run().unwrap();
+        let u_pre = r_pre.helper_utilization[0];
+        let u_no = r_no.helper_utilization[0];
+        assert!(
+            u_pre > u_no,
+            "pre-copy helper must work more: {u_pre} vs {u_no}"
+        );
+    }
+}

@@ -1,0 +1,657 @@
+//! Emulated memory device.
+//!
+//! A [`MemoryDevice`] models one DRAM or NVM device in a node. It hands
+//! out *regions* (contiguous logical byte ranges) and charges virtual
+//! time for every read, write, and cache flush according to its
+//! [`DeviceParams`] and [`BandwidthModel`].
+//!
+//! Two region flavors exist:
+//!
+//! * **materialized** — backed by real bytes. Used by the functional
+//!   checkpoint path, examples, and all correctness/property tests, so
+//!   checksums and restart actually verify data.
+//! * **synthetic** — size-only. Used by paper-scale benches (48 ranks x
+//!   410 MB) where only the *cost* of data movement matters; copying
+//!   charges identical virtual time without allocating gigabytes.
+//!
+//! The device is passive with respect to time: operations return the
+//! [`SimDuration`] they would take, and the caller advances its clock.
+//! Concurrency (how many cores copy simultaneously) is an argument to
+//! each transfer, because only the orchestration layer knows it.
+
+use crate::bandwidth::BandwidthModel;
+use crate::energy::EnergyMeter;
+use crate::error::DeviceError;
+use crate::params::{DeviceKind, DeviceParams};
+use crate::time::SimDuration;
+use crate::{pages_for, PAGE_SIZE};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a region on a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u64);
+
+/// Cache-line size for the flush cost model.
+pub const CACHE_LINE: usize = 64;
+
+/// Cost to flush one cache line to the persistence domain (clflush +
+/// memory-controller drain, amortized).
+pub const FLUSH_PER_LINE: SimDuration = SimDuration::from_nanos(10);
+
+/// Aggregate statistics for a device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Total bytes written (including synthetic writes).
+    pub bytes_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Number of flush operations.
+    pub flush_ops: u64,
+    /// Virtual time the device spent busy, summed over operations.
+    pub busy: SimDuration,
+    /// Energy spent on writes.
+    pub energy: EnergyMeter,
+}
+
+/// Backing storage of a region.
+enum Backing {
+    Bytes(Vec<u8>),
+    Synthetic,
+}
+
+struct Region {
+    len: usize,
+    backing: Backing,
+    /// Writes per page of this region (wear tracking).
+    page_writes: Vec<u64>,
+}
+
+impl Region {
+    fn check_bounds(&self, id: RegionId, offset: usize, len: usize) -> Result<(), DeviceError> {
+        if offset.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(DeviceError::OutOfBounds {
+                region: id.0,
+                offset,
+                len,
+                region_len: self.len,
+            });
+        }
+        Ok(())
+    }
+
+    fn record_page_writes(&mut self, offset: usize, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        let mut max = 0;
+        for p in first..=last {
+            self.page_writes[p] += 1;
+            max = max.max(self.page_writes[p]);
+        }
+        max
+    }
+}
+
+struct Inner {
+    params: DeviceParams,
+    model: BandwidthModel,
+    capacity: usize,
+    used: usize,
+    next_id: u64,
+    regions: HashMap<RegionId, Region>,
+    stats: DeviceStats,
+    /// When true, writes past the endurance limit return an error.
+    strict_endurance: bool,
+}
+
+/// An emulated DRAM or NVM device. Cloning yields another handle to the
+/// same device (it is internally shared), which is how the application
+/// ranks and the asynchronous checkpoint helper see common state.
+#[derive(Clone)]
+pub struct MemoryDevice {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MemoryDevice {
+    /// Create a device with the given parameters and capacity in bytes.
+    /// The bandwidth model defaults to the contended Figure-4 curve for
+    /// the device's peak bandwidth.
+    pub fn new(params: DeviceParams, capacity: usize) -> Self {
+        let model = BandwidthModel::for_device(&params);
+        Self::with_model(params, capacity, model)
+    }
+
+    /// Create a device with an explicit bandwidth model (e.g. a fixed
+    /// per-core bandwidth for the paper's x-axis sweeps).
+    pub fn with_model(params: DeviceParams, capacity: usize, model: BandwidthModel) -> Self {
+        MemoryDevice {
+            inner: Arc::new(Mutex::new(Inner {
+                params,
+                model,
+                capacity,
+                used: 0,
+                next_id: 1,
+                regions: HashMap::new(),
+                stats: DeviceStats::default(),
+                strict_endurance: false,
+            })),
+        }
+    }
+
+    /// Convenience: a PCM device of `capacity` bytes.
+    pub fn pcm(capacity: usize) -> Self {
+        Self::new(DeviceParams::pcm(), capacity)
+    }
+
+    /// Convenience: a DRAM device of `capacity` bytes.
+    pub fn dram(capacity: usize) -> Self {
+        Self::new(DeviceParams::dram(), capacity)
+    }
+
+    /// Replace the bandwidth model (used by sweeps that vary effective
+    /// NVM bandwidth per core).
+    pub fn set_model(&self, model: BandwidthModel) {
+        self.inner.lock().model = model;
+    }
+
+    /// Enable or disable strict endurance checking.
+    pub fn set_strict_endurance(&self, strict: bool) {
+        self.inner.lock().strict_endurance = strict;
+    }
+
+    /// Device parameter block.
+    pub fn params(&self) -> DeviceParams {
+        self.inner.lock().params
+    }
+
+    /// Device kind.
+    pub fn kind(&self) -> DeviceKind {
+        self.inner.lock().params.kind
+    }
+
+    /// Whether region contents survive process restart.
+    pub fn is_persistent(&self) -> bool {
+        self.kind().is_persistent()
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.inner.lock().used
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        let g = self.inner.lock();
+        g.capacity - g.used
+    }
+
+    /// Snapshot of the device statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.inner.lock().stats
+    }
+
+    /// Allocate a materialized (zero-filled) region of `len` bytes.
+    pub fn alloc(&self, len: usize) -> Result<RegionId, DeviceError> {
+        self.alloc_inner(len, true)
+    }
+
+    /// Allocate a synthetic (size-only) region of `len` bytes.
+    pub fn alloc_synthetic(&self, len: usize) -> Result<RegionId, DeviceError> {
+        self.alloc_inner(len, false)
+    }
+
+    fn alloc_inner(&self, len: usize, materialized: bool) -> Result<RegionId, DeviceError> {
+        let mut g = self.inner.lock();
+        let available = g.capacity - g.used;
+        if len > available {
+            return Err(DeviceError::OutOfCapacity {
+                requested: len,
+                available,
+            });
+        }
+        let id = RegionId(g.next_id);
+        g.next_id += 1;
+        g.used += len;
+        let backing = if materialized {
+            Backing::Bytes(vec![0u8; len])
+        } else {
+            Backing::Synthetic
+        };
+        g.regions.insert(
+            id,
+            Region {
+                len,
+                backing,
+                page_writes: vec![0; pages_for(len).max(1)],
+            },
+        );
+        Ok(id)
+    }
+
+    /// Free a region, reclaiming its capacity.
+    pub fn free(&self, id: RegionId) -> Result<(), DeviceError> {
+        let mut g = self.inner.lock();
+        let region = g
+            .regions
+            .remove(&id)
+            .ok_or(DeviceError::NoSuchRegion(id.0))?;
+        g.used -= region.len;
+        Ok(())
+    }
+
+    /// Length of a region in bytes.
+    pub fn region_len(&self, id: RegionId) -> Result<usize, DeviceError> {
+        let g = self.inner.lock();
+        g.regions
+            .get(&id)
+            .map(|r| r.len)
+            .ok_or(DeviceError::NoSuchRegion(id.0))
+    }
+
+    /// True if the region is materialized (byte-backed).
+    pub fn is_materialized(&self, id: RegionId) -> Result<bool, DeviceError> {
+        let g = self.inner.lock();
+        g.regions
+            .get(&id)
+            .map(|r| matches!(r.backing, Backing::Bytes(_)))
+            .ok_or(DeviceError::NoSuchRegion(id.0))
+    }
+
+    /// Write `data` at `offset`, modeled as one of `concurrency`
+    /// simultaneous streams. Returns the virtual time the write takes.
+    pub fn write(
+        &self,
+        id: RegionId,
+        offset: usize,
+        data: &[u8],
+        concurrency: usize,
+    ) -> Result<SimDuration, DeviceError> {
+        let mut g = self.inner.lock();
+        let cost = g.write_common(id, offset, data.len(), concurrency)?;
+        let region = g.regions.get_mut(&id).expect("checked by write_common");
+        if let Backing::Bytes(bytes) = &mut region.backing {
+            bytes[offset..offset + data.len()].copy_from_slice(data);
+        }
+        Ok(cost)
+    }
+
+    /// Charge the cost of writing `len` bytes at `offset` without
+    /// transferring real data. Valid on both synthetic and materialized
+    /// regions (on the latter it models a write whose content is
+    /// irrelevant to the experiment).
+    pub fn write_synthetic(
+        &self,
+        id: RegionId,
+        offset: usize,
+        len: usize,
+        concurrency: usize,
+    ) -> Result<SimDuration, DeviceError> {
+        self.inner.lock().write_common(id, offset, len, concurrency)
+    }
+
+    /// Read `buf.len()` bytes from `offset` into `buf`. Returns the
+    /// virtual read time. Errors on synthetic regions.
+    pub fn read(
+        &self,
+        id: RegionId,
+        offset: usize,
+        buf: &mut [u8],
+        concurrency: usize,
+    ) -> Result<SimDuration, DeviceError> {
+        let mut g = self.inner.lock();
+        let region = g.regions.get(&id).ok_or(DeviceError::NoSuchRegion(id.0))?;
+        region.check_bounds(id, offset, buf.len())?;
+        match &region.backing {
+            Backing::Synthetic => return Err(DeviceError::SyntheticAccess(id.0)),
+            Backing::Bytes(bytes) => {
+                buf.copy_from_slice(&bytes[offset..offset + buf.len()]);
+            }
+        }
+        Ok(g.charge_read(buf.len(), concurrency))
+    }
+
+    /// Charge the cost of reading `len` bytes without materializing them.
+    pub fn read_synthetic(
+        &self,
+        id: RegionId,
+        offset: usize,
+        len: usize,
+        concurrency: usize,
+    ) -> Result<SimDuration, DeviceError> {
+        let mut g = self.inner.lock();
+        let region = g.regions.get(&id).ok_or(DeviceError::NoSuchRegion(id.0))?;
+        region.check_bounds(id, offset, len)?;
+        Ok(g.charge_read(len, concurrency))
+    }
+
+    /// Copy of a materialized region's bytes (for checksumming/restart).
+    pub fn snapshot(&self, id: RegionId) -> Result<Vec<u8>, DeviceError> {
+        let g = self.inner.lock();
+        let region = g.regions.get(&id).ok_or(DeviceError::NoSuchRegion(id.0))?;
+        match &region.backing {
+            Backing::Bytes(bytes) => Ok(bytes.clone()),
+            Backing::Synthetic => Err(DeviceError::SyntheticAccess(id.0)),
+        }
+    }
+
+    /// Flush `len` bytes of a region from the processor cache to the
+    /// persistence domain (the paper flushes before marking a checkpoint
+    /// consistent). Cost: one [`FLUSH_PER_LINE`] per cache line.
+    pub fn flush(&self, id: RegionId, len: usize) -> Result<SimDuration, DeviceError> {
+        let mut g = self.inner.lock();
+        let region = g.regions.get(&id).ok_or(DeviceError::NoSuchRegion(id.0))?;
+        let len = len.min(region.len);
+        let lines = len.div_ceil(CACHE_LINE) as u64;
+        let cost = FLUSH_PER_LINE * lines;
+        g.stats.flush_ops += 1;
+        g.stats.busy += cost;
+        Ok(cost)
+    }
+
+    /// Maximum per-page write count observed on a region (wear).
+    pub fn max_wear(&self, id: RegionId) -> Result<u64, DeviceError> {
+        let g = self.inner.lock();
+        g.regions
+            .get(&id)
+            .map(|r| r.page_writes.iter().copied().max().unwrap_or(0))
+            .ok_or(DeviceError::NoSuchRegion(id.0))
+    }
+
+    /// Fraction of the endurance budget consumed by the hottest page of
+    /// the hottest region, in [0, 1+].
+    pub fn wear_fraction(&self) -> f64 {
+        let g = self.inner.lock();
+        let max = g
+            .regions
+            .values()
+            .flat_map(|r| r.page_writes.iter().copied())
+            .max()
+            .unwrap_or(0);
+        max as f64 / g.params.write_endurance as f64
+    }
+
+    /// Destroy all contents (hard failure: the node's NVM is lost).
+    pub fn destroy(&self) {
+        let mut g = self.inner.lock();
+        g.regions.clear();
+        g.used = 0;
+    }
+
+    /// Number of live regions.
+    pub fn region_count(&self) -> usize {
+        self.inner.lock().regions.len()
+    }
+
+    /// Effective per-core bandwidth for `concurrency` streams and
+    /// buffers of `buffer_bytes` (exposes the model for planners: the
+    /// DCPC threshold needs `NVMBW_core`).
+    pub fn per_core_bandwidth(&self, concurrency: usize, buffer_bytes: usize) -> f64 {
+        self.inner.lock().model.per_core(concurrency, buffer_bytes)
+    }
+}
+
+impl Inner {
+    fn write_common(
+        &mut self,
+        id: RegionId,
+        offset: usize,
+        len: usize,
+        concurrency: usize,
+    ) -> Result<SimDuration, DeviceError> {
+        let params = self.params;
+        let model = self.model;
+        let strict = self.strict_endurance;
+        let region = self
+            .regions
+            .get_mut(&id)
+            .ok_or(DeviceError::NoSuchRegion(id.0))?;
+        region.check_bounds(id, offset, len)?;
+        let max_wear = region.record_page_writes(offset, len);
+        if strict && max_wear > params.write_endurance {
+            return Err(DeviceError::EnduranceExceeded {
+                region: id.0,
+                writes: max_wear,
+                limit: params.write_endurance,
+            });
+        }
+        // The model already encodes this device's peak bandwidth (or a
+        // fixed per-core override); floor it to avoid degenerate zero.
+        let stream_bw = model.per_core(concurrency, len).max(1.0);
+        let transfer = SimDuration::for_transfer(len as u64, stream_bw);
+        let latency = params.page_write_latency * pages_for(len.max(1)) as u64;
+        let cost = transfer + latency;
+        self.stats.bytes_written += len as u64;
+        self.stats.write_ops += 1;
+        self.stats.busy += cost;
+        self.stats
+            .energy
+            .charge_write(len as u64, params.write_energy_pj_per_bit);
+        Ok(cost)
+    }
+
+    fn charge_read(&mut self, len: usize, concurrency: usize) -> SimDuration {
+        let params = self.params;
+        // Reads contend like writes but against the read bandwidth.
+        let write_bw = self.model.per_core(concurrency, len).max(1.0);
+        let read_bw = write_bw * (params.read_bandwidth / params.write_bandwidth);
+        let transfer = SimDuration::for_transfer(len as u64, read_bw.max(1.0));
+        let latency = params.page_read_latency * pages_for(len.max(1)) as u64;
+        let cost = transfer + latency;
+        self.stats.bytes_read += len as u64;
+        self.stats.read_ops += 1;
+        self.stats.busy += cost;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: usize = 1 << 20;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let d = MemoryDevice::pcm(10 * MB);
+        let a = d.alloc(4 * MB).unwrap();
+        let b = d.alloc_synthetic(4 * MB).unwrap();
+        assert_eq!(d.used(), 8 * MB);
+        assert_eq!(d.available(), 2 * MB);
+        assert!(matches!(
+            d.alloc(4 * MB),
+            Err(DeviceError::OutOfCapacity { .. })
+        ));
+        d.free(a).unwrap();
+        d.free(b).unwrap();
+        assert_eq!(d.used(), 0);
+        assert!(matches!(d.free(a), Err(DeviceError::NoSuchRegion(_))));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = MemoryDevice::pcm(MB);
+        let r = d.alloc(1024).unwrap();
+        let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+        let wcost = d.write(r, 0, &data, 1).unwrap();
+        assert!(!wcost.is_zero());
+        let mut buf = vec![0u8; 1024];
+        let rcost = d.read(r, 0, &mut buf, 1).unwrap();
+        assert_eq!(buf, data);
+        // PCM: writes much slower than reads.
+        assert!(wcost > rcost, "wcost={wcost} rcost={rcost}");
+    }
+
+    #[test]
+    fn partial_write_preserves_rest() {
+        let d = MemoryDevice::dram(MB);
+        let r = d.alloc(100).unwrap();
+        d.write(r, 10, &[7; 20], 1).unwrap();
+        let snap = d.snapshot(r).unwrap();
+        assert!(snap[..10].iter().all(|&b| b == 0));
+        assert!(snap[10..30].iter().all(|&b| b == 7));
+        assert!(snap[30..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let d = MemoryDevice::pcm(MB);
+        let r = d.alloc(100).unwrap();
+        assert!(matches!(
+            d.write(r, 90, &[0; 20], 1),
+            Err(DeviceError::OutOfBounds { .. })
+        ));
+        let mut buf = [0u8; 20];
+        assert!(matches!(
+            d.read(r, 90, &mut buf, 1),
+            Err(DeviceError::OutOfBounds { .. })
+        ));
+        // offset overflow must not panic
+        assert!(matches!(
+            d.write(r, usize::MAX, &[0; 2], 1),
+            Err(DeviceError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn synthetic_regions_charge_time_but_hold_no_bytes() {
+        let d = MemoryDevice::pcm(100 * MB);
+        let r = d.alloc_synthetic(50 * MB).unwrap();
+        let cost = d.write_synthetic(r, 0, 50 * MB, 1).unwrap();
+        assert!(cost.as_secs_f64() > 0.01); // 50 MB at <= 2 GB/s
+        let mut buf = [0u8; 16];
+        assert!(matches!(
+            d.read(r, 0, &mut buf, 1),
+            Err(DeviceError::SyntheticAccess(_))
+        ));
+        assert!(matches!(
+            d.snapshot(r),
+            Err(DeviceError::SyntheticAccess(_))
+        ));
+        // but cost-only reads work
+        assert!(d.read_synthetic(r, 0, MB, 1).is_ok());
+    }
+
+    #[test]
+    fn concurrency_slows_per_stream_writes() {
+        let d = MemoryDevice::pcm(100 * MB);
+        let r = d.alloc_synthetic(33 * MB).unwrap();
+        let solo = d.write_synthetic(r, 0, 33 * MB, 1).unwrap();
+        let contended = d.write_synthetic(r, 0, 33 * MB, 12).unwrap();
+        let ratio = contended.as_secs_f64() / solo.as_secs_f64();
+        assert!(ratio > 2.0, "12-way contention should be >2x slower: {ratio}");
+    }
+
+    #[test]
+    fn pcm_slower_than_dram() {
+        let pcm = MemoryDevice::pcm(100 * MB);
+        let dram = MemoryDevice::dram(100 * MB);
+        let rp = pcm.alloc_synthetic(10 * MB).unwrap();
+        let rd = dram.alloc_synthetic(10 * MB).unwrap();
+        let cp = pcm.write_synthetic(rp, 0, 10 * MB, 1).unwrap();
+        let cd = dram.write_synthetic(rd, 0, 10 * MB, 1).unwrap();
+        let ratio = cp.as_secs_f64() / cd.as_secs_f64();
+        assert!(ratio > 3.0, "PCM writes should be ~4x slower: {ratio}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let d = MemoryDevice::pcm(MB);
+        let r = d.alloc(4096).unwrap();
+        d.write(r, 0, &[1; 4096], 1).unwrap();
+        let mut buf = vec![0u8; 4096];
+        d.read(r, 0, &mut buf, 1).unwrap();
+        d.flush(r, 4096).unwrap();
+        let s = d.stats();
+        assert_eq!(s.bytes_written, 4096);
+        assert_eq!(s.bytes_read, 4096);
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.read_ops, 1);
+        assert_eq!(s.flush_ops, 1);
+        assert!(s.energy.joules() > 0.0);
+        assert!(!s.busy.is_zero());
+    }
+
+    #[test]
+    fn flush_cost_scales_with_lines() {
+        let d = MemoryDevice::pcm(MB);
+        let r = d.alloc(128 * 1024).unwrap();
+        let small = d.flush(r, 64).unwrap();
+        let big = d.flush(r, 64 * 1024).unwrap();
+        assert_eq!(small, FLUSH_PER_LINE);
+        assert_eq!(big, FLUSH_PER_LINE * 1024);
+    }
+
+    #[test]
+    fn wear_tracking_counts_page_writes() {
+        let d = MemoryDevice::pcm(MB);
+        let r = d.alloc(2 * PAGE_SIZE).unwrap();
+        for _ in 0..5 {
+            d.write(r, 0, &[1; 64], 1).unwrap();
+        }
+        d.write(r, PAGE_SIZE, &[1; 64], 1).unwrap();
+        assert_eq!(d.max_wear(r).unwrap(), 5);
+        assert!(d.wear_fraction() > 0.0);
+    }
+
+    #[test]
+    fn strict_endurance_errors_out() {
+        let mut params = DeviceParams::pcm();
+        params.write_endurance = 3;
+        let d = MemoryDevice::new(params, MB);
+        d.set_strict_endurance(true);
+        let r = d.alloc(64).unwrap();
+        for _ in 0..3 {
+            d.write(r, 0, &[1; 8], 1).unwrap();
+        }
+        assert!(matches!(
+            d.write(r, 0, &[1; 8], 1),
+            Err(DeviceError::EnduranceExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn destroy_clears_contents() {
+        let d = MemoryDevice::pcm(MB);
+        let r = d.alloc(1024).unwrap();
+        d.destroy();
+        assert_eq!(d.region_count(), 0);
+        assert_eq!(d.used(), 0);
+        assert!(matches!(
+            d.write(r, 0, &[1; 8], 1),
+            Err(DeviceError::NoSuchRegion(_))
+        ));
+    }
+
+    #[test]
+    fn shared_handles_see_same_device() {
+        let d = MemoryDevice::pcm(MB);
+        let d2 = d.clone();
+        let r = d.alloc(128).unwrap();
+        d2.write(r, 0, &[9; 128], 1).unwrap();
+        assert_eq!(d.snapshot(r).unwrap(), vec![9u8; 128]);
+    }
+
+    #[test]
+    fn zero_length_ops_are_ok() {
+        let d = MemoryDevice::pcm(MB);
+        let r = d.alloc(16).unwrap();
+        assert!(d.write(r, 0, &[], 1).is_ok());
+        assert!(d.write(r, 16, &[], 1).is_ok());
+        let mut buf = [0u8; 0];
+        assert!(d.read(r, 16, &mut buf, 1).is_ok());
+    }
+}

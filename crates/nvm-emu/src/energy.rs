@@ -1,0 +1,73 @@
+//! Write-energy accounting.
+//!
+//! Table I notes PCM writes cost ~40x the energy per bit of DRAM
+//! writes. The checkpoint engine uses this to report the energy cost of
+//! a checkpointing policy; the pre-copy ablations show that repeated
+//! pre-copies of hot chunks waste energy as well as bandwidth, which is
+//! exactly what the DCPCP prediction scheme suppresses.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated energy spent on a device, in joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    joules: f64,
+}
+
+impl EnergyMeter {
+    /// A meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge the energy for writing `bytes` at `pj_per_bit` picojoules
+    /// per bit.
+    pub fn charge_write(&mut self, bytes: u64, pj_per_bit: f64) {
+        // bits * pJ/bit -> pJ -> J
+        self.joules += bytes as f64 * 8.0 * pj_per_bit * 1e-12;
+    }
+
+    /// Total joules accumulated.
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Fold another meter into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.joules += other.joules;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DeviceParams;
+
+    #[test]
+    fn dram_vs_pcm_energy_ratio_is_40x() {
+        let mut dram = EnergyMeter::new();
+        let mut pcm = EnergyMeter::new();
+        let bytes = 1 << 30;
+        dram.charge_write(bytes, DeviceParams::dram().write_energy_pj_per_bit);
+        pcm.charge_write(bytes, DeviceParams::pcm().write_energy_pj_per_bit);
+        assert!((pcm.joules() / dram.joules() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_gigabyte_dram_write_energy_magnitude() {
+        let mut m = EnergyMeter::new();
+        m.charge_write(1_000_000_000, 1.0);
+        // 8e9 bits * 1 pJ = 8e9 pJ = 8 mJ
+        assert!((m.joules() - 8e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyMeter::new();
+        let mut b = EnergyMeter::new();
+        a.charge_write(1000, 1.0);
+        b.charge_write(1000, 1.0);
+        a.merge(&b);
+        assert!((a.joules() - 2.0 * 1000.0 * 8.0 * 1e-12).abs() < 1e-18);
+    }
+}

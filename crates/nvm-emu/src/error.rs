@@ -1,0 +1,78 @@
+//! Device error types.
+
+use std::fmt;
+
+/// Errors reported by the emulated memory devices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation would exceed device capacity.
+    OutOfCapacity {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+    /// The region id is unknown (never allocated or already freed).
+    NoSuchRegion(u64),
+    /// An access fell outside the region bounds.
+    OutOfBounds {
+        /// Region being accessed.
+        region: u64,
+        /// Starting offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Total region length.
+        region_len: usize,
+    },
+    /// Byte-level read from a synthetic (size-only) region.
+    SyntheticAccess(u64),
+    /// A write exceeded the device's endurance budget (only raised when
+    /// strict wear checking is enabled).
+    EnduranceExceeded {
+        /// Region whose wear crossed the endurance limit.
+        region: u64,
+        /// Writes observed on the hottest page of that region.
+        writes: u64,
+        /// The device's endurance limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfCapacity {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device capacity: requested {requested} bytes, {available} available"
+            ),
+            DeviceError::NoSuchRegion(id) => write!(f, "no such region: {id}"),
+            DeviceError::OutOfBounds {
+                region,
+                offset,
+                len,
+                region_len,
+            } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for region {region} of length {region_len}",
+                offset + len
+            ),
+            DeviceError::SyntheticAccess(id) => {
+                write!(f, "byte-level read from synthetic region {id}")
+            }
+            DeviceError::EnduranceExceeded {
+                region,
+                writes,
+                limit,
+            } => write!(
+                f,
+                "endurance exceeded on region {region}: {writes} writes > limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}

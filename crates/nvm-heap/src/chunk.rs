@@ -1,0 +1,145 @@
+//! Chunk records.
+//!
+//! A *chunk* is one application variable/data structure allocated
+//! through the NVM interfaces (`nvmalloc` et al.). It owns a DRAM
+//! working copy — the application computes on DRAM, never on slow NVM —
+//! and up to two shadow version slots inside the per-process NVM
+//! container: the most recently *committed* checkpoint and the one
+//! currently *in progress*.
+
+use crate::arena::Extent;
+use nvm_emu::RegionId;
+use nvm_paging::ChunkId;
+use serde::{Deserialize, Serialize};
+
+/// How many shadow versions each chunk keeps in NVM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Versioning {
+    /// One NVM version: cheaper in space; a checkpoint that fails
+    /// mid-copy loses the local copy (the paper falls back to the
+    /// remote copy in that case).
+    Single,
+    /// Two NVM versions: committed + in-progress (the paper's default).
+    Double,
+}
+
+impl Versioning {
+    /// Number of version slots.
+    pub fn slots(self) -> usize {
+        match self {
+            Versioning::Single => 1,
+            Versioning::Double => 2,
+        }
+    }
+}
+
+/// One checkpointable application data structure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Stable id (`genid(varname)`).
+    pub id: ChunkId,
+    /// Variable name the application registered.
+    pub name: String,
+    /// Logical length in bytes.
+    pub len: usize,
+    /// Whether the application requested persistence (`pflg`): only
+    /// persistent chunks participate in checkpoints.
+    pub persistent: bool,
+    /// DRAM region holding the working copy.
+    pub dram_region: RegionId,
+    /// Shadow version extents within the NVM container.
+    pub versions: [Option<Extent>; 2],
+    /// Which slot holds the last committed checkpoint.
+    pub committed_slot: Option<u8>,
+    /// CRC-64 of the committed version (when checksumming is enabled).
+    pub checksum: Option<u64>,
+    /// Checkpoint epoch at which `committed_slot` was written.
+    pub committed_epoch: u64,
+}
+
+impl Chunk {
+    /// The slot the *next* checkpoint should write into: the slot that
+    /// is not currently committed (round-robin between 0 and 1 under
+    /// double versioning; always 0 under single).
+    pub fn in_progress_slot(&self, versioning: Versioning) -> u8 {
+        match versioning {
+            Versioning::Single => 0,
+            Versioning::Double => match self.committed_slot {
+                Some(0) => 1,
+                _ => 0,
+            },
+        }
+    }
+
+    /// Extent of the committed version, if any.
+    pub fn committed_extent(&self) -> Option<Extent> {
+        self.committed_slot
+            .and_then(|s| self.versions[s as usize])
+    }
+
+    /// Whether this chunk has ever been checkpointed.
+    pub fn has_committed(&self) -> bool {
+        self.committed_slot.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> Chunk {
+        Chunk {
+            id: ChunkId(1),
+            name: "x".into(),
+            len: 4096,
+            persistent: true,
+            dram_region: RegionId(1),
+            versions: [
+                Some(Extent {
+                    offset: 0,
+                    len: 4096,
+                }),
+                Some(Extent {
+                    offset: 4096,
+                    len: 4096,
+                }),
+            ],
+            committed_slot: None,
+            checksum: None,
+            committed_epoch: 0,
+        }
+    }
+
+    #[test]
+    fn slot_rotation_under_double_versioning() {
+        let mut c = chunk();
+        assert_eq!(c.in_progress_slot(Versioning::Double), 0);
+        c.committed_slot = Some(0);
+        assert_eq!(c.in_progress_slot(Versioning::Double), 1);
+        c.committed_slot = Some(1);
+        assert_eq!(c.in_progress_slot(Versioning::Double), 0);
+    }
+
+    #[test]
+    fn single_versioning_always_slot_zero() {
+        let mut c = chunk();
+        c.committed_slot = Some(0);
+        assert_eq!(c.in_progress_slot(Versioning::Single), 0);
+    }
+
+    #[test]
+    fn committed_extent_follows_slot() {
+        let mut c = chunk();
+        assert_eq!(c.committed_extent(), None);
+        assert!(!c.has_committed());
+        c.committed_slot = Some(1);
+        assert_eq!(c.committed_extent().unwrap().offset, 4096);
+        assert!(c.has_committed());
+    }
+
+    #[test]
+    fn versioning_slot_counts() {
+        assert_eq!(Versioning::Single.slots(), 1);
+        assert_eq!(Versioning::Double.slots(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Chunk allocator over DRAM + NVM — the user-library allocation
+//! component of NVM-checkpoints (Section V of the paper).
+//!
+//! Applications allocate every checkpointable data structure through
+//! [`NvmHeap`]: each allocation becomes a *chunk* with a DRAM working
+//! copy (computation never touches slow NVM directly — the shadow
+//! buffering design) and one or two shadow version extents inside a
+//! per-process NVM container managed by a jemalloc-style [`Arena`].
+//!
+//! The API mirrors Table III of the paper:
+//!
+//! | Paper                      | Here                        |
+//! |----------------------------|-----------------------------|
+//! | `genid(varname)`           | [`nvm_paging::genid`]       |
+//! | `nvalloc(id, size, pflg)`  | [`NvmHeap::nvmalloc`]       |
+//! | `nv2dalloc(dim1, dim2)`    | [`NvmHeap::nv2dalloc`]      |
+//! | `nvattach(id, src, size)`  | [`NvmHeap::nvattach`]       |
+//! | `nvrealloc(id, src, size)` | [`NvmHeap::nvrealloc`]      |
+//! | `nvdelete(id)`             | [`NvmHeap::nvdelete`]       |
+//!
+//! (`nvchkptall`/`nvchkptid` live in the `nvm-chkpt` crate, which owns
+//! commit/versioning/pre-copy policy.)
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod chunk;
+pub mod heap;
+
+pub use arena::{Arena, ArenaStats, Extent};
+pub use chunk::{Chunk, Versioning};
+pub use heap::{HeapError, Materialization, NvmHeap};

@@ -1,0 +1,339 @@
+//! Per-process persistent metadata region.
+//!
+//! The paper's kernel manager keeps an in-NVM metadata structure per
+//! process: every NVM allocation is recorded so that a restarted
+//! process can call `nvmalloc(id, ...)` with the same ids and get its
+//! persistent chunks back. The same structure is what the asynchronous
+//! remote-checkpoint helper maps (via the shared-NVM interface) to
+//! discover which chunks exist and where their data lives.
+//!
+//! [`MetadataRegion`] serializes a [`ProcessMetadata`] into a
+//! materialized region of an NVM [`MemoryDevice`] with a small length
+//! header, charging device write + flush costs — metadata updates are
+//! on the checkpoint critical path in the paper and so must cost time
+//! here too.
+
+use nvm_emu::{DeviceError, MemoryDevice, RegionId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::ChunkId;
+
+/// Persistent record of one chunk, enough to rebuild the chunk table on
+/// restart and to let the helper process locate checkpoint data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Application-chosen chunk id (`genid(varname)`).
+    pub id: ChunkId,
+    /// Human-readable variable name.
+    pub name: String,
+    /// Chunk length in bytes.
+    pub len: usize,
+    /// Whether the application asked for persistence (`pflg`).
+    pub persistent: bool,
+    /// `(offset, len)` of the two shadow version extents within the
+    /// process NVM container (version slots 0/1).
+    pub versions: [Option<(u64, u64)>; 2],
+    /// Which version slot holds the last *committed* checkpoint, if any.
+    pub committed_slot: Option<u8>,
+    /// Checksum of the committed version (CRC-64), if checksumming is on.
+    pub checksum: Option<u64>,
+    /// Monotone checkpoint epoch of the committed version.
+    pub committed_epoch: u64,
+}
+
+/// Everything a process persists about its NVM state.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProcessMetadata {
+    /// Owning process/rank id.
+    pub process_id: u64,
+    /// Device region id of the process NVM container (the fixed range
+    /// the kernel manager reserves for this process).
+    pub container_region: Option<u64>,
+    /// Container capacity in bytes.
+    pub container_capacity: usize,
+    /// One record per live chunk.
+    pub records: Vec<ChunkRecord>,
+}
+
+impl ProcessMetadata {
+    /// Metadata for a fresh process.
+    pub fn new(process_id: u64) -> Self {
+        ProcessMetadata {
+            process_id,
+            container_region: None,
+            container_capacity: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Find a record by chunk id.
+    pub fn find(&self, id: ChunkId) -> Option<&ChunkRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Insert or replace a record.
+    pub fn upsert(&mut self, rec: ChunkRecord) {
+        match self.records.iter_mut().find(|r| r.id == rec.id) {
+            Some(slot) => *slot = rec,
+            None => self.records.push(rec),
+        }
+    }
+
+    /// Remove a record; true if it existed.
+    pub fn remove(&mut self, id: ChunkId) -> bool {
+        let before = self.records.len();
+        self.records.retain(|r| r.id != id);
+        self.records.len() != before
+    }
+}
+
+const HEADER: usize = 8; // u64 LE payload length
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A persistent metadata region on an NVM device.
+pub struct MetadataRegion {
+    device: MemoryDevice,
+    region: RegionId,
+    capacity: usize,
+}
+
+impl MetadataRegion {
+    /// Allocate a metadata region with the default 1 MiB capacity.
+    pub fn create(device: &MemoryDevice) -> Result<Self, DeviceError> {
+        Self::with_capacity(device, DEFAULT_CAPACITY)
+    }
+
+    /// Allocate a metadata region with an explicit capacity.
+    pub fn with_capacity(device: &MemoryDevice, capacity: usize) -> Result<Self, DeviceError> {
+        let region = device.alloc(capacity)?;
+        Ok(MetadataRegion {
+            device: device.clone(),
+            region,
+            capacity,
+        })
+    }
+
+    /// Re-open an existing metadata region after restart.
+    pub fn open(device: &MemoryDevice, region: RegionId) -> Result<Self, DeviceError> {
+        let capacity = device.region_len(region)?;
+        Ok(MetadataRegion {
+            device: device.clone(),
+            region,
+            capacity,
+        })
+    }
+
+    /// The underlying region id (a restarting process needs to know it;
+    /// in the paper this is the fixed physical range the kernel manager
+    /// reserves at boot).
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Persist `meta`, growing the region if needed. Returns the
+    /// virtual-time cost (serialize-write + cache flush).
+    pub fn save(&mut self, meta: &ProcessMetadata) -> Result<SimDuration, DeviceError> {
+        let payload = serde_json::to_vec(meta).expect("metadata serialization cannot fail");
+        let needed = HEADER + payload.len();
+        if needed > self.capacity {
+            // Grow: allocate a fresh, larger region. The old one is
+            // freed only after the new one is written (crash safety).
+            let new_cap = needed.next_power_of_two();
+            let new_region = self.device.alloc(new_cap)?;
+            let old = self.region;
+            self.region = new_region;
+            self.capacity = new_cap;
+            let cost = self.write_payload(&payload)?;
+            self.device.free(old)?;
+            return Ok(cost);
+        }
+        self.write_payload(&payload)
+    }
+
+    fn write_payload(&self, payload: &[u8]) -> Result<SimDuration, DeviceError> {
+        let mut cost = self
+            .device
+            .write(self.region, 0, &(payload.len() as u64).to_le_bytes(), 1)?;
+        cost += self.device.write(self.region, HEADER, payload, 1)?;
+        cost += self.device.flush(self.region, HEADER + payload.len())?;
+        Ok(cost)
+    }
+
+    /// Load the metadata back (the restart path). Returns the metadata
+    /// and the read cost.
+    pub fn load(&self) -> Result<(ProcessMetadata, SimDuration), MetadataError> {
+        let mut header = [0u8; HEADER];
+        let mut cost = self.device.read(self.region, 0, &mut header, 1)?;
+        let len = u64::from_le_bytes(header) as usize;
+        if len == 0 {
+            return Ok((ProcessMetadata::default(), cost));
+        }
+        if HEADER + len > self.capacity {
+            return Err(MetadataError::Corrupt(format!(
+                "metadata length {len} exceeds region capacity {}",
+                self.capacity
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        cost += self.device.read(self.region, HEADER, &mut payload, 1)?;
+        let meta = serde_json::from_slice(&payload)
+            .map_err(|e| MetadataError::Corrupt(e.to_string()))?;
+        Ok((meta, cost))
+    }
+}
+
+/// Errors raised while loading metadata.
+#[derive(Debug)]
+pub enum MetadataError {
+    /// Underlying device error.
+    Device(DeviceError),
+    /// The stored bytes do not parse.
+    Corrupt(String),
+}
+
+impl From<DeviceError> for MetadataError {
+    fn from(e: DeviceError) -> Self {
+        MetadataError::Device(e)
+    }
+}
+
+impl std::fmt::Display for MetadataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetadataError::Device(e) => write!(f, "device error: {e}"),
+            MetadataError::Corrupt(s) => write!(f, "corrupt metadata: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MetadataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genid;
+
+    fn sample_meta() -> ProcessMetadata {
+        let mut m = ProcessMetadata::new(7);
+        m.upsert(ChunkRecord {
+            id: genid("electrons"),
+            name: "electrons".into(),
+            len: 1 << 20,
+            persistent: true,
+            versions: [Some((0, 11)), Some((11, 11))],
+            committed_slot: Some(0),
+            checksum: Some(0xdead_beef),
+            committed_epoch: 3,
+        });
+        m.upsert(ChunkRecord {
+            id: genid("ions"),
+            name: "ions".into(),
+            len: 4096,
+            persistent: true,
+            versions: [Some((22, 13)), None],
+            committed_slot: None,
+            checksum: None,
+            committed_epoch: 0,
+        });
+        m
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dev = MemoryDevice::pcm(4 << 20);
+        let mut region = MetadataRegion::create(&dev).unwrap();
+        let meta = sample_meta();
+        let save_cost = region.save(&meta).unwrap();
+        assert!(!save_cost.is_zero(), "metadata writes must cost time");
+        let (loaded, load_cost) = region.load().unwrap();
+        assert_eq!(loaded, meta);
+        assert!(!load_cost.is_zero());
+    }
+
+    #[test]
+    fn empty_region_loads_default() {
+        let dev = MemoryDevice::pcm(4 << 20);
+        let region = MetadataRegion::create(&dev).unwrap();
+        let (loaded, _) = region.load().unwrap();
+        assert_eq!(loaded, ProcessMetadata::default());
+    }
+
+    #[test]
+    fn reopen_after_restart_sees_saved_data() {
+        let dev = MemoryDevice::pcm(4 << 20);
+        let meta = sample_meta();
+        let region_id;
+        {
+            let mut region = MetadataRegion::create(&dev).unwrap();
+            region.save(&meta).unwrap();
+            region_id = region.region();
+            // process "dies" here; the device (NVM) survives
+        }
+        let reopened = MetadataRegion::open(&dev, region_id).unwrap();
+        let (loaded, _) = reopened.load().unwrap();
+        assert_eq!(loaded, meta);
+    }
+
+    #[test]
+    fn save_grows_region_when_needed() {
+        let dev = MemoryDevice::pcm(16 << 20);
+        let mut region = MetadataRegion::with_capacity(&dev, 256).unwrap();
+        let mut meta = ProcessMetadata::new(1);
+        for i in 0..200 {
+            meta.upsert(ChunkRecord {
+                id: ChunkId(i),
+                name: format!("var_{i}"),
+                len: 4096,
+                persistent: true,
+                versions: [Some((i * 2, 4096)), Some((i * 2 + 1, 4096))],
+                committed_slot: Some((i % 2) as u8),
+                checksum: Some(i),
+                committed_epoch: i,
+            });
+        }
+        region.save(&meta).unwrap();
+        let (loaded, _) = region.load().unwrap();
+        assert_eq!(loaded.records.len(), 200);
+        assert_eq!(loaded, meta);
+    }
+
+    #[test]
+    fn upsert_replaces_and_remove_removes() {
+        let mut m = ProcessMetadata::new(1);
+        let id = genid("x");
+        m.upsert(ChunkRecord {
+            id,
+            name: "x".into(),
+            len: 1,
+            persistent: false,
+            versions: [None, None],
+            committed_slot: None,
+            checksum: None,
+            committed_epoch: 0,
+        });
+        m.upsert(ChunkRecord {
+            id,
+            name: "x".into(),
+            len: 2,
+            persistent: false,
+            versions: [None, None],
+            committed_slot: None,
+            checksum: None,
+            committed_epoch: 1,
+        });
+        assert_eq!(m.records.len(), 1);
+        assert_eq!(m.find(id).unwrap().len, 2);
+        assert!(m.remove(id));
+        assert!(!m.remove(id));
+        assert!(m.find(id).is_none());
+    }
+
+    #[test]
+    fn hard_failure_destroys_metadata() {
+        let dev = MemoryDevice::pcm(4 << 20);
+        let mut region = MetadataRegion::create(&dev).unwrap();
+        region.save(&sample_meta()).unwrap();
+        dev.destroy(); // hard node failure
+        assert!(region.load().is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! XOR-parity (diskless-checkpointing style) remote redundancy.
+//!
+//! The paper's remote checkpoint replicates every rank's data on a
+//! buddy node — 1x extra storage. The diskless-checkpointing
+//! literature it builds on (Plank et al.; erasure-coded variants)
+//! trades recovery breadth for space: a *parity group* of `N` data
+//! nodes stores only the XOR of their checkpoints on a parity node
+//! (`1/N` extra storage) and can reconstruct any **single** lost
+//! member from the survivors plus the parity.
+//!
+//! This module implements that alternative remote tier so the
+//! replication-vs-parity trade-off can be measured (`storage_bytes`
+//! vs `RemoteStore::stored_bytes`) and recovery exercised end-to-end.
+
+use nvm_chkpt::checksum::crc64;
+use nvm_emu::{DeviceError, MemoryDevice, RegionId, SimDuration};
+use nvm_paging::ChunkId;
+use std::collections::HashMap;
+
+/// Errors from the parity store.
+#[derive(Debug)]
+pub enum ErasureError {
+    /// Device failure on the parity node.
+    Device(DeviceError),
+    /// Encoding requires every group member's block.
+    WrongMemberCount {
+        /// Blocks supplied.
+        got: usize,
+        /// Group size.
+        expected: usize,
+    },
+    /// Recovery needs exactly `group_size - 1` survivors.
+    WrongSurvivorCount {
+        /// Survivors supplied.
+        got: usize,
+        /// Survivors required.
+        expected: usize,
+    },
+    /// No parity stored for this chunk.
+    NoParity(ChunkId),
+    /// Parity block failed its checksum.
+    ParityCorrupt(ChunkId),
+}
+
+impl From<DeviceError> for ErasureError {
+    fn from(e: DeviceError) -> Self {
+        ErasureError::Device(e)
+    }
+}
+
+impl std::fmt::Display for ErasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErasureError::Device(e) => write!(f, "parity device: {e}"),
+            ErasureError::WrongMemberCount { got, expected } => {
+                write!(f, "need {expected} member blocks, got {got}")
+            }
+            ErasureError::WrongSurvivorCount { got, expected } => {
+                write!(f, "need {expected} survivor blocks, got {got}")
+            }
+            ErasureError::NoParity(id) => write!(f, "no parity for {id:?}"),
+            ErasureError::ParityCorrupt(id) => write!(f, "parity corrupt for {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ErasureError {}
+
+struct ParityEntry {
+    region: RegionId,
+    len: usize,
+    checksum: u64,
+}
+
+/// A parity node serving one group of `group_size` data nodes.
+pub struct ParityStore {
+    nvm: MemoryDevice,
+    group_size: usize,
+    entries: HashMap<ChunkId, ParityEntry>,
+}
+
+impl ParityStore {
+    /// A parity store on `nvm` for a group of `group_size` members.
+    pub fn new(nvm: &MemoryDevice, group_size: usize) -> Self {
+        assert!(group_size >= 2, "a parity group needs at least 2 members");
+        ParityStore {
+            nvm: nvm.clone(),
+            group_size,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Group size `N`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// XOR-fold `blocks` (one per member, padded to the longest) and
+    /// persist the parity. Returns the NVM write cost.
+    pub fn encode(
+        &mut self,
+        chunk: ChunkId,
+        blocks: &[&[u8]],
+    ) -> Result<SimDuration, ErasureError> {
+        if blocks.len() != self.group_size {
+            return Err(ErasureError::WrongMemberCount {
+                got: blocks.len(),
+                expected: self.group_size,
+            });
+        }
+        let len = blocks.iter().map(|b| b.len()).max().unwrap_or(0);
+        let mut parity = vec![0u8; len];
+        for b in blocks {
+            for (p, &x) in parity.iter_mut().zip(b.iter()) {
+                *p ^= x;
+            }
+        }
+        // Replace any previous parity block.
+        if let Some(old) = self.entries.remove(&chunk) {
+            self.nvm.free(old.region)?;
+        }
+        let region = self.nvm.alloc(len.max(1))?;
+        let cost = self.nvm.write(region, 0, &parity, 1)?;
+        let cost = cost + self.nvm.flush(region, len)?;
+        self.entries.insert(
+            chunk,
+            ParityEntry {
+                region,
+                len,
+                checksum: crc64(&parity),
+            },
+        );
+        Ok(cost)
+    }
+
+    /// Reconstruct the lost member's block from the `group_size - 1`
+    /// survivors plus the stored parity. Survivor blocks shorter than
+    /// the parity are zero-padded (their tails contributed zeros).
+    pub fn recover(
+        &self,
+        chunk: ChunkId,
+        survivors: &[&[u8]],
+    ) -> Result<(Vec<u8>, SimDuration), ErasureError> {
+        if survivors.len() != self.group_size - 1 {
+            return Err(ErasureError::WrongSurvivorCount {
+                got: survivors.len(),
+                expected: self.group_size - 1,
+            });
+        }
+        let entry = self
+            .entries
+            .get(&chunk)
+            .ok_or(ErasureError::NoParity(chunk))?;
+        let mut block = vec![0u8; entry.len];
+        let cost = self.nvm.read(entry.region, 0, &mut block, 1)?;
+        if crc64(&block) != entry.checksum {
+            return Err(ErasureError::ParityCorrupt(chunk));
+        }
+        for s in survivors {
+            for (b, &x) in block.iter_mut().zip(s.iter()) {
+                *b ^= x;
+            }
+        }
+        Ok((block, cost))
+    }
+
+    /// Bytes of parity stored (the space the scheme saves shows up
+    /// when comparing against `group_size` full replicas).
+    pub fn storage_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.len as u64).sum()
+    }
+
+    /// Number of parity blocks held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no parity is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(n: usize) -> ParityStore {
+        ParityStore::new(&MemoryDevice::pcm(64 << 20), n)
+    }
+
+    fn member_data(rank: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(17).wrapping_add(rank as u8))
+            .collect()
+    }
+
+    #[test]
+    fn recover_any_single_member() {
+        let mut s = store(4);
+        let chunk = ChunkId(1);
+        let blocks: Vec<Vec<u8>> = (0..4).map(|r| member_data(r, 8192)).collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        s.encode(chunk, &refs).unwrap();
+
+        for lost in 0..4 {
+            let survivors: Vec<&[u8]> = blocks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != lost)
+                .map(|(_, b)| b.as_slice())
+                .collect();
+            let (recovered, cost) = s.recover(chunk, &survivors).unwrap();
+            assert_eq!(recovered, blocks[lost], "lost member {lost}");
+            assert!(!cost.is_zero());
+        }
+    }
+
+    #[test]
+    fn unequal_lengths_are_padded() {
+        let mut s = store(3);
+        let chunk = ChunkId(2);
+        let a = member_data(0, 4096);
+        let b = member_data(1, 1024); // shorter
+        let c = member_data(2, 4096);
+        s.encode(chunk, &[&a, &b, &c]).unwrap();
+        let (recovered, _) = s.recover(chunk, &[&a, &c]).unwrap();
+        assert_eq!(&recovered[..1024], &b[..]);
+        assert!(recovered[1024..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn parity_storage_is_fraction_of_replication() {
+        let mut s = store(4);
+        let blocks: Vec<Vec<u8>> = (0..4).map(|r| member_data(r, 1 << 20)).collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        s.encode(ChunkId(1), &refs).unwrap();
+        // Replication of 4 members would store 4 MB; parity stores 1 MB.
+        assert_eq!(s.storage_bytes(), 1 << 20);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn re_encode_replaces_old_parity() {
+        let mut s = store(2);
+        let chunk = ChunkId(9);
+        let a1 = member_data(0, 512);
+        let b1 = member_data(1, 512);
+        s.encode(chunk, &[&a1, &b1]).unwrap();
+        let a2 = member_data(7, 512);
+        let b2 = member_data(8, 512);
+        s.encode(chunk, &[&a2, &b2]).unwrap();
+        let (rec, _) = s.recover(chunk, &[&a2]).unwrap();
+        assert_eq!(rec, b2, "must reflect the latest encoding");
+        assert_eq!(s.storage_bytes(), 512, "old parity freed");
+    }
+
+    #[test]
+    fn arity_errors() {
+        let mut s = store(3);
+        let a = member_data(0, 64);
+        assert!(matches!(
+            s.encode(ChunkId(1), &[&a]),
+            Err(ErasureError::WrongMemberCount { .. })
+        ));
+        let b = member_data(1, 64);
+        let c = member_data(2, 64);
+        s.encode(ChunkId(1), &[&a, &b, &c]).unwrap();
+        assert!(matches!(
+            s.recover(ChunkId(1), &[&a]),
+            Err(ErasureError::WrongSurvivorCount { .. })
+        ));
+        assert!(matches!(
+            s.recover(ChunkId(42), &[&a, &b]),
+            Err(ErasureError::NoParity(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_group_rejected() {
+        let _ = store(1);
+    }
+}

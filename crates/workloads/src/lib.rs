@@ -1,0 +1,29 @@
+//! Synthetic HPC workloads for the NVM-checkpoints reproduction.
+//!
+//! The paper evaluates with GTC (gyrokinetic fusion PIC), LAMMPS
+//! (molecular dynamics, Rhodo suite) and CM1 (hurricane simulation),
+//! plus the MADBench2 I/O benchmark and the LANL parallel-memcpy
+//! probe. None of those are redistributable as-is, so this crate
+//! provides synthetic equivalents driven by the paper's own
+//! characterization of them:
+//!
+//! * [`chunks`] — Table-IV chunk-size distribution generators;
+//! * [`apps`] — [`apps::SyntheticApp`]: GTC/LAMMPS/CM1-shaped
+//!   [`cluster_sim::Workload`]s with the modification patterns the
+//!   paper describes (init-only giants, hot arrays, steady rewrites);
+//! * [`madbench`] — the compute/checkpoint alternation kernel used for
+//!   the ramdisk-vs-memory motivation experiment;
+//! * [`memprobe`] — parallel memcpy bandwidth probe (model + real
+//!   measurement).
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod chunks;
+pub mod madbench;
+pub mod memprobe;
+
+pub use apps::{ModPattern, SyntheticApp};
+pub use chunks::{generate_profile, measured_distribution, ChunkDistribution, ChunkSpec, SizeBucket};
+pub use madbench::{run_madbench, CheckpointSink, MadBenchConfig, MadBenchResult};
+pub use memprobe::{measure_parallel_memcpy, model_curve, MemcpyPoint};

@@ -1,0 +1,132 @@
+//! MADBench2-like I/O kernel (the Section-IV motivation experiment).
+//!
+//! MADBench2 is an out-of-core cosmology benchmark that alternates
+//! dense compute with large matrix writes. The paper uses it to show
+//! that even when *both* sides store data in DRAM, a checkpoint
+//! through the file-system interface (ramdisk) loses badly to a plain
+//! in-memory copy — 46% slower at 300 MB/core, with 3x the kernel
+//! synchronization calls and 31% more lock-wait time.
+//!
+//! This module is the workload half: a kernel that alternates compute
+//! with checkpoints through any [`CheckpointSink`]. The sinks (ramdisk
+//! cost model, tmpfs real mode, in-memory copy) live in the
+//! `ramdisk-baseline` crate.
+
+use nvm_emu::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Anything that can absorb a checkpoint: a ramdisk file, an in-memory
+/// buffer, an NVM region.
+pub trait CheckpointSink {
+    /// Human-readable sink name.
+    fn name(&self) -> &str;
+    /// Absorb a checkpoint of `bytes`; returns the virtual-time cost.
+    fn checkpoint(&mut self, bytes: usize) -> SimDuration;
+    /// Kernel synchronization calls issued so far (the paper profiles
+    /// 3x more on the ramdisk path).
+    fn kernel_sync_calls(&self) -> u64 {
+        0
+    }
+    /// Time spent waiting on kernel locks so far.
+    fn lock_wait(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// MADBench2-like kernel configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MadBenchConfig {
+    /// Checkpoint bytes per core per phase (the paper sweeps
+    /// 50-300 MB).
+    pub data_bytes: usize,
+    /// Number of compute/checkpoint phases.
+    pub phases: usize,
+    /// Compute time per phase.
+    pub compute_per_phase: SimDuration,
+}
+
+impl MadBenchConfig {
+    /// The paper's sweep point for a given MB-per-core size.
+    pub fn with_data_mb(mb: usize) -> Self {
+        MadBenchConfig {
+            data_bytes: mb << 20,
+            phases: 8,
+            compute_per_phase: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Result of one MADBench run against one sink.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MadBenchResult {
+    /// Total virtual runtime.
+    pub total_time: SimDuration,
+    /// Time spent in checkpoints only.
+    pub checkpoint_time: SimDuration,
+    /// Kernel synchronization calls the sink issued.
+    pub kernel_sync_calls: u64,
+    /// Kernel lock wait the sink accumulated.
+    pub lock_wait: SimDuration,
+    /// Bytes checkpointed in total.
+    pub bytes: u64,
+}
+
+/// Run the kernel against a sink.
+pub fn run_madbench<S: CheckpointSink>(cfg: &MadBenchConfig, sink: &mut S) -> MadBenchResult {
+    let mut total = SimDuration::ZERO;
+    let mut ckpt = SimDuration::ZERO;
+    for _ in 0..cfg.phases {
+        total += cfg.compute_per_phase;
+        let c = sink.checkpoint(cfg.data_bytes);
+        ckpt += c;
+        total += c;
+    }
+    MadBenchResult {
+        total_time: total,
+        checkpoint_time: ckpt,
+        kernel_sync_calls: sink.kernel_sync_calls(),
+        lock_wait: sink.lock_wait(),
+        bytes: (cfg.data_bytes * cfg.phases) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedSink(SimDuration, u64);
+    impl CheckpointSink for FixedSink {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn checkpoint(&mut self, _bytes: usize) -> SimDuration {
+            self.1 += 1;
+            self.0
+        }
+        fn kernel_sync_calls(&self) -> u64 {
+            self.1
+        }
+    }
+
+    #[test]
+    fn kernel_alternates_compute_and_checkpoint() {
+        let cfg = MadBenchConfig {
+            data_bytes: 1 << 20,
+            phases: 4,
+            compute_per_phase: SimDuration::from_secs(1),
+        };
+        let mut sink = FixedSink(SimDuration::from_millis(500), 0);
+        let r = run_madbench(&cfg, &mut sink);
+        assert_eq!(r.total_time, SimDuration::from_secs(6));
+        assert_eq!(r.checkpoint_time, SimDuration::from_secs(2));
+        assert_eq!(r.kernel_sync_calls, 4);
+        assert_eq!(r.bytes, 4 << 20);
+    }
+
+    #[test]
+    fn sweep_point_constructor() {
+        let cfg = MadBenchConfig::with_data_mb(300);
+        assert_eq!(cfg.data_bytes, 300 << 20);
+        assert_eq!(cfg.phases, 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Parallel memcpy probe (the LANL benchmark behind Figure 4).
+//!
+//! Two modes:
+//!
+//! * [`model_curve`] — evaluate the emulator's [`BandwidthModel`] at
+//!   each concurrency level (what the simulation uses);
+//! * [`measure_parallel_memcpy`] — a *real* measurement: spawn N
+//!   threads, each repeatedly `copy_from_slice`-ing between private
+//!   buffers, and report achieved per-core bandwidth. The Figure-4
+//!   bench prints both so the model can be sanity-checked against the
+//!   machine it runs on.
+
+use nvm_emu::BandwidthModel;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// One concurrency point of the Figure-4 curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemcpyPoint {
+    /// Concurrent copier count.
+    pub threads: usize,
+    /// Buffer size per copier, bytes.
+    pub buffer_bytes: usize,
+    /// Per-core copy bandwidth, bytes/s.
+    pub per_core_bw: f64,
+    /// Aggregate bandwidth, bytes/s.
+    pub aggregate_bw: f64,
+}
+
+/// Evaluate the emulation's contended-bandwidth model across
+/// concurrency levels.
+pub fn model_curve(
+    model: &BandwidthModel,
+    max_threads: usize,
+    buffer_bytes: usize,
+) -> Vec<MemcpyPoint> {
+    (1..=max_threads)
+        .map(|threads| MemcpyPoint {
+            threads,
+            buffer_bytes,
+            per_core_bw: model.per_core(threads, buffer_bytes),
+            aggregate_bw: model.aggregate(threads, buffer_bytes),
+        })
+        .collect()
+}
+
+/// Measure real per-core memcpy bandwidth with `threads` concurrent
+/// copiers moving `buffer_bytes` each, `reps` times.
+pub fn measure_parallel_memcpy(threads: usize, buffer_bytes: usize, reps: usize) -> MemcpyPoint {
+    assert!(threads > 0 && buffer_bytes > 0 && reps > 0);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let poison = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let barrier = barrier.clone();
+        let poison = poison.clone();
+        handles.push(std::thread::spawn(move || {
+            let src = vec![0xA5u8; buffer_bytes];
+            let mut dst = vec![0u8; buffer_bytes];
+            barrier.wait(); // start together
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                dst.copy_from_slice(&src);
+                // Defeat dead-copy elimination.
+                if dst[buffer_bytes / 2] != 0xA5 {
+                    poison.store(true, Ordering::Relaxed);
+                }
+            }
+            let dt = t0.elapsed();
+            std::hint::black_box(&dst);
+            (buffer_bytes * reps) as f64 / dt.as_secs_f64()
+        }));
+    }
+    barrier.wait();
+    let per_thread: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("copier thread panicked"))
+        .collect();
+    assert!(!poison.load(Ordering::Relaxed), "copy verification failed");
+    let per_core_bw = per_thread.iter().sum::<f64>() / threads as f64;
+    MemcpyPoint {
+        threads,
+        buffer_bytes,
+        per_core_bw,
+        aggregate_bw: per_thread.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_curve_shape() {
+        let curve = model_curve(&BandwidthModel::lanl_dram(), 12, 33 << 20);
+        assert_eq!(curve.len(), 12);
+        // Monotone decline per core; 67% reduction at n=12.
+        assert!(curve.windows(2).all(|w| w[1].per_core_bw < w[0].per_core_bw));
+        let ratio = curve[11].per_core_bw / curve[0].per_core_bw;
+        assert!((ratio - 0.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn real_measurement_returns_sane_bandwidth() {
+        // Small and quick: 2 threads, 1 MB, a few reps. Any real
+        // machine should beat 100 MB/s per core.
+        let p = measure_parallel_memcpy(2, 1 << 20, 8);
+        assert_eq!(p.threads, 2);
+        assert!(
+            p.per_core_bw > 100.0 * (1 << 20) as f64,
+            "implausibly slow: {:.1} MB/s",
+            p.per_core_bw / (1 << 20) as f64
+        );
+        assert!(p.aggregate_bw >= p.per_core_bw);
+    }
+}

@@ -1,0 +1,4 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in the sibling `*.rs` files, wired up as
+//! `[[test]]` targets in `Cargo.toml`.

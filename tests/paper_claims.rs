@@ -1,0 +1,217 @@
+//! The paper's headline claims, asserted at reduced (CI) scale.
+//!
+//! Absolute numbers differ from the paper (our substrate is an
+//! emulation, theirs was a 12-core Xeon cluster); the *shape* of every
+//! claim — who wins, in which direction — must hold. Paper-scale runs
+//! live in the `nvm-bench` binaries; EXPERIMENTS.md records both.
+
+use cluster_sim::{ClusterConfig, ClusterSim, RemoteConfig, Workload};
+use hpc_workloads::madbench::{run_madbench, MadBenchConfig};
+use hpc_workloads::SyntheticApp;
+use nvm_chkpt::PrecopyPolicy;
+use nvm_emu::SimDuration;
+use ramdisk_baseline::{MemorySink, RamdiskSink};
+
+const SIZE_SCALE: f64 = 0.05;
+
+fn config(policy: PrecopyPolicy) -> ClusterConfig {
+    let mut c = ClusterConfig::new(2, 2);
+    c.container_bytes = (900.0 * SIZE_SCALE * (1 << 20) as f64) as usize + (8 << 20);
+    c.engine = c.engine.with_precopy(policy);
+    c.local_interval = Some(SimDuration::from_secs(10));
+    c.iterations = 12;
+    c
+}
+
+fn app(name: &'static str) -> impl FnMut(u64) -> Box<dyn Workload> {
+    move |_| {
+        let a = match name {
+            "gtc" => SyntheticApp::gtc_scaled(SIZE_SCALE),
+            "lammps" => SyntheticApp::lammps_scaled(SIZE_SCALE),
+            "cm1" => SyntheticApp::cm1_scaled(SIZE_SCALE),
+            _ => unreachable!(),
+        };
+        Box::new(a.with_compute(SimDuration::from_secs(5)))
+    }
+}
+
+/// Claim (Sec. IV): in-memory checkpointing beats ramdisk, ~46% at
+/// 300 MB, 3x sync calls, 31% more lock wait.
+#[test]
+fn claim_ramdisk_is_much_slower_than_memory() {
+    let cfg = MadBenchConfig::with_data_mb(300);
+    let mut mem = MemorySink::new();
+    let mut rd = RamdiskSink::new();
+    let rm = run_madbench(&cfg, &mut mem);
+    let rr = run_madbench(&cfg, &mut rd);
+    let slowdown = rr.checkpoint_time.as_secs_f64() / rm.checkpoint_time.as_secs_f64();
+    assert!((1.40..1.52).contains(&slowdown), "slowdown {slowdown}");
+    assert!(rr.kernel_sync_calls as f64 / rm.kernel_sync_calls as f64 > 2.8);
+    assert!(rr.lock_wait > rm.lock_wait);
+}
+
+/// Claim (Fig. 7): pre-copy cuts LAMMPS local-checkpoint overhead
+/// roughly in half vs no pre-copy.
+#[test]
+fn claim_precopy_halves_local_overhead() {
+    let factory = app("lammps");
+    let ideal = ClusterSim::new(config(PrecopyPolicy::None).ideal_variant(), factory)
+        .unwrap()
+        .run()
+        .unwrap();
+    let pre = ClusterSim::new(config(PrecopyPolicy::Dcpcp), app("lammps"))
+        .unwrap()
+        .run()
+        .unwrap();
+    let nopre = ClusterSim::new(config(PrecopyPolicy::None), app("lammps"))
+        .unwrap()
+        .run()
+        .unwrap();
+    let ideal_s = ideal.total_time.as_secs_f64();
+    let ovh_pre = pre.total_time.as_secs_f64() / ideal_s - 1.0;
+    let ovh_no = nopre.total_time.as_secs_f64() / ideal_s - 1.0;
+    assert!(
+        ovh_pre < ovh_no * 0.75,
+        "pre-copy {ovh_pre:.3} vs no-pre-copy {ovh_no:.3}"
+    );
+}
+
+/// Claim (Fig. 8): with dirty tracking, GTC checkpoints *less* data
+/// than the no-pre-copy baseline (init-only arrays skipped).
+#[test]
+fn claim_gtc_checkpoints_less_data_with_tracking() {
+    let pre = ClusterSim::new(config(PrecopyPolicy::Dcpcp), app("gtc"))
+        .unwrap()
+        .run()
+        .unwrap();
+    let nopre = ClusterSim::new(config(PrecopyPolicy::None), app("gtc"))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(pre.engine_stats.skipped_bytes > 0);
+    assert!(
+        pre.engine_stats.total_copied_bytes() < nopre.engine_stats.total_copied_bytes(),
+        "GTC pre-copy must move less data"
+    );
+}
+
+/// Claim (Sec. VI): the pre-copy benefit ordering across apps follows
+/// their chunk-size profiles — CM1 gains least. The effect comes from
+/// chunk *sizes* (large chunks hit the contended-bandwidth regime;
+/// CM1's mostly-small chunks do not), so this test runs paper-sized
+/// chunks on a small rank count with the contended bandwidth model.
+#[test]
+fn claim_cm1_benefits_least() {
+    let full_config = |policy: PrecopyPolicy| {
+        let mut c = ClusterConfig::new(1, 4);
+        c.container_bytes = 940 << 20;
+        c.engine = c.engine.with_precopy(policy);
+        c.local_interval = Some(SimDuration::from_secs(40));
+        c.iterations = 12;
+        c
+    };
+    let full_app = |name: &'static str| {
+        move |_: u64| -> Box<dyn Workload> {
+            let a = match name {
+                "lammps" => SyntheticApp::lammps(),
+                "cm1" => SyntheticApp::cm1(),
+                _ => unreachable!(),
+            };
+            Box::new(a.with_compute(SimDuration::from_secs(10)))
+        }
+    };
+    let benefit = |name: &'static str| {
+        let pre = ClusterSim::new(full_config(PrecopyPolicy::Dcpcp), full_app(name))
+            .unwrap()
+            .run()
+            .unwrap();
+        let nopre = ClusterSim::new(full_config(PrecopyPolicy::None), full_app(name))
+            .unwrap()
+            .run()
+            .unwrap();
+        1.0 - pre.total_time.as_secs_f64() / nopre.total_time.as_secs_f64()
+    };
+    let lammps = benefit("lammps");
+    let cm1 = benefit("cm1");
+    assert!(
+        cm1 < lammps,
+        "CM1 benefit {cm1:.4} must be below LAMMPS {lammps:.4}"
+    );
+}
+
+/// Claim (Figs. 9/10): remote pre-copy lowers both peak interconnect
+/// usage and total runtime vs the async burst approach.
+#[test]
+fn claim_remote_precopy_cuts_peak_and_runtime() {
+    // Paper-sized checkpoints: the peak difference comes from staging
+    // rates, which only shows once per-node volume exceeds a trace
+    // bucket's worth of wire time.
+    let full_config = |policy: PrecopyPolicy, precopy: bool| {
+        let mut c = ClusterConfig::new(2, 2);
+        c.container_bytes = 940 << 20;
+        c.engine = c.engine.with_precopy(policy);
+        c.local_interval = Some(SimDuration::from_secs(40));
+        c.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(80), precopy));
+        c.iterations = 16;
+        c
+    };
+    let full_app = |_: u64| -> Box<dyn Workload> {
+        Box::new(SyntheticApp::gtc().with_compute(SimDuration::from_secs(10)))
+    };
+
+    let pre = ClusterSim::new(full_config(PrecopyPolicy::Dcpcp, true), full_app)
+        .unwrap()
+        .run()
+        .unwrap();
+    let burst = ClusterSim::new(full_config(PrecopyPolicy::None, false), full_app)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(pre.remote_checkpoints >= 1 && burst.remote_checkpoints >= 1);
+    assert!(
+        pre.peak_link_bytes() < burst.peak_link_bytes(),
+        "peak {} vs {}",
+        pre.peak_link_bytes(),
+        burst.peak_link_bytes()
+    );
+    assert!(pre.total_time <= burst.total_time);
+}
+
+/// Claim (Table V): the helper core works roughly twice as hard under
+/// pre-copy, yet remains a small fraction of one core.
+#[test]
+fn claim_helper_utilization_doubles_but_stays_small() {
+    let mut pre_cfg = config(PrecopyPolicy::Dcpcp);
+    pre_cfg.iterations = 16;
+    pre_cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(20), true));
+    let mut burst_cfg = config(PrecopyPolicy::None);
+    burst_cfg.iterations = 16;
+    burst_cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(20), false));
+
+    let pre = ClusterSim::new(pre_cfg, app("gtc")).unwrap().run().unwrap();
+    let burst = ClusterSim::new(burst_cfg, app("gtc")).unwrap().run().unwrap();
+    let u_pre = pre.helper_utilization[0];
+    let u_burst = burst.helper_utilization[0];
+    assert!(u_pre > u_burst, "{u_pre} vs {u_burst}");
+    assert!(u_pre < 0.5, "helper must stay well below one core: {u_pre}");
+}
+
+/// Claim (Sec. IV): chunk-level protection avoids the page-fault storm
+/// of page-level protection for fully-rewritten checkpoint data.
+#[test]
+fn claim_chunk_protection_avoids_fault_storm() {
+    use nvm_chkpt::Granularity;
+    let run = |g: Granularity| {
+        let mut cfg = config(PrecopyPolicy::Cpc);
+        cfg.engine = cfg.engine.with_granularity(g);
+        ClusterSim::new(cfg, app("lammps")).unwrap().run().unwrap()
+    };
+    let chunk = run(Granularity::Chunk);
+    let page = run(Granularity::Page);
+    assert!(
+        page.engine_stats.faults > 50 * chunk.engine_stats.faults,
+        "page {} vs chunk {} faults",
+        page.engine_stats.faults,
+        chunk.engine_stats.faults
+    );
+}

@@ -1,0 +1,124 @@
+//! Structural assertions on the simulator's schedules — the shapes of
+//! Figures 1 and 5 of the paper.
+//!
+//! * Figure 1: compute and local checkpoints alternate; remote
+//!   checkpoints overlap the *following* compute (asynchronous).
+//! * Figure 5b: with pre-copy, the blocking local-checkpoint spans
+//!   shrink because most data drained during compute.
+//! * Figure 5c: with remote pre-copy, checkpoint traffic flows during
+//!   compute windows instead of arriving as one post-checkpoint burst.
+
+use cluster_sim::{Activity, ClusterConfig, ClusterSim, RemoteConfig, UniformWorkload, Workload};
+use nvm_chkpt::PrecopyPolicy;
+use nvm_emu::SimDuration;
+
+const MB: usize = 1 << 20;
+
+fn config(policy: PrecopyPolicy) -> ClusterConfig {
+    let mut c = ClusterConfig::new(2, 2);
+    c.container_bytes = 48 * MB;
+    c.engine = c.engine.with_precopy(policy);
+    c.local_interval = Some(SimDuration::from_secs(8));
+    c.iterations = 12;
+    c
+}
+
+fn factory(_g: u64) -> Box<dyn Workload> {
+    Box::new(UniformWorkload::new(
+        5,
+        4 * MB,
+        SimDuration::from_secs(4),
+        2 * MB as u64,
+    ))
+}
+
+#[test]
+fn figure1_compute_and_local_checkpoints_alternate() {
+    let r = ClusterSim::new(config(PrecopyPolicy::None), factory)
+        .unwrap()
+        .run()
+        .unwrap();
+    let seq = r.schedule.sequence();
+    // The canonical C L C L ... pattern appears.
+    let cl_pairs = seq
+        .windows(2)
+        .filter(|w| w == &[Activity::Compute, Activity::LocalCheckpoint])
+        .count();
+    assert!(cl_pairs >= 3, "expected repeated C->L transitions: {seq:?}");
+    // Local checkpoints are coordinated: they never overlap compute.
+    assert!(!r.schedule.overlaps(Activity::Compute, Activity::LocalCheckpoint));
+}
+
+#[test]
+fn figure1_remote_checkpoints_overlap_compute() {
+    let mut cfg = config(PrecopyPolicy::None);
+    cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(16), false));
+    let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+    assert!(r.remote_checkpoints >= 1);
+    // Asynchronous remote checkpoint: its span extends into compute.
+    assert!(
+        r.schedule
+            .overlaps(Activity::Compute, Activity::RemoteCheckpoint),
+        "remote checkpoints must overlap compute: {:?}",
+        r.schedule.sequence()
+    );
+}
+
+#[test]
+fn figure5b_precopy_shrinks_blocking_checkpoint_spans() {
+    let no = ClusterSim::new(config(PrecopyPolicy::None), factory)
+        .unwrap()
+        .run()
+        .unwrap();
+    let pre = ClusterSim::new(config(PrecopyPolicy::Dcpcp), factory)
+        .unwrap()
+        .run()
+        .unwrap();
+    let t_no = no.schedule.total(Activity::LocalCheckpoint);
+    let t_pre = pre.schedule.total(Activity::LocalCheckpoint);
+    assert!(
+        t_pre < t_no,
+        "pre-copy blocking time {t_pre} must be below {t_no}"
+    );
+}
+
+#[test]
+fn figure5c_remote_precopy_moves_traffic_into_compute_windows() {
+    let mut burst_cfg = config(PrecopyPolicy::None);
+    burst_cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(16), false));
+    let mut pre_cfg = config(PrecopyPolicy::Dcpcp);
+    pre_cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(16), true));
+
+    let burst = ClusterSim::new(burst_cfg, factory).unwrap().run().unwrap();
+    let pre = ClusterSim::new(pre_cfg, factory).unwrap().run().unwrap();
+
+    // Same-order volumes, but the pre-copy trace is much flatter.
+    let burst_trace = &burst.link_traces[0];
+    let pre_trace = &pre.link_traces[0];
+    assert!(pre_trace.total_bytes() > 0.0 && burst_trace.total_bytes() > 0.0);
+    assert!(
+        pre_trace.peak_to_mean() < burst_trace.peak_to_mean(),
+        "pre-copy peak/mean {:.1} must be flatter than burst {:.1}",
+        pre_trace.peak_to_mean(),
+        burst_trace.peak_to_mean()
+    );
+}
+
+#[test]
+fn restart_spans_appear_after_failures() {
+    use cluster_sim::FailureConfig;
+    let mut cfg = config(PrecopyPolicy::Dcpcp);
+    cfg.failures = Some(FailureConfig {
+        seed: 5,
+        mtbf_soft: SimDuration::from_secs(20),
+        mtbf_hard: SimDuration::from_secs(1_000_000),
+    });
+    cfg.failure_horizon = SimDuration::from_secs(600);
+    let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+    assert!(r.soft_failures > 0);
+    let restarts = r.schedule.of(Activity::Restart);
+    assert_eq!(restarts.len() as u64, r.soft_failures + r.hard_failures);
+    for s in restarts {
+        assert!(!s.duration().is_zero(), "restart must cost time");
+    }
+}
