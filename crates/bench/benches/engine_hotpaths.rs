@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nvm_chkpt::checksum::crc64;
 use nvm_chkpt::compress::{compress, decompress};
-use nvm_emu::StartGap;
 use nvm_chkpt::{CheckpointEngine, EngineConfig, Materialization};
+use nvm_emu::StartGap;
 use nvm_emu::{MemoryDevice, SimDuration, VirtualClock};
 use nvm_heap::Arena;
 use nvm_paging::{MetadataRegion, PageMap, ProcessMetadata};
@@ -69,21 +69,19 @@ fn bench_engine_cycle(c: &mut Criterion) {
         ("synthetic_400MB", Materialization::Synthetic),
     ] {
         g.bench_function(name, |b| {
-            let scale = if mat == Materialization::Bytes { 1 } else { 100 };
+            let scale = if mat == Materialization::Bytes {
+                1
+            } else {
+                100
+            };
             let dram = MemoryDevice::dram(scale * 16 * MB);
             let nvm = MemoryDevice::pcm(scale * 16 * MB);
             let cfg = EngineConfig::default()
                 .with_materialization(mat)
                 .with_checksums(mat == Materialization::Bytes);
-            let mut e = CheckpointEngine::new(
-                0,
-                &dram,
-                &nvm,
-                scale * 12 * MB,
-                VirtualClock::new(),
-                cfg,
-            )
-            .unwrap();
+            let mut e =
+                CheckpointEngine::new(0, &dram, &nvm, scale * 12 * MB, VirtualClock::new(), cfg)
+                    .unwrap();
             let id = e.nvmalloc("x", scale * 4 * MB, true).unwrap();
             let payload = vec![1u8; 64 * 1024];
             b.iter(|| {

@@ -2,8 +2,8 @@
 //! cluster, plus the MADBench sink models — measures the *harness*
 //! itself, so regressions in simulation speed are caught.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cluster_sim::{ClusterConfig, ClusterSim, UniformWorkload, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpc_workloads::madbench::{run_madbench, MadBenchConfig};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;

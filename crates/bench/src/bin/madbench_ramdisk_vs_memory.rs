@@ -5,7 +5,11 @@ use nvm_bench::report::write_json;
 
 fn main() {
     let rows = madbench::run();
-    madbench::render("MADBench2 — ramdisk vs in-memory checkpoint (cost model)", &rows).print();
+    madbench::render(
+        "MADBench2 — ramdisk vs in-memory checkpoint (cost model)",
+        &rows,
+    )
+    .print();
     write_json("madbench_ramdisk_vs_memory", &rows);
     if std::env::args().any(|a| a == "--real") {
         let real = madbench::run_real();

@@ -1,20 +1,38 @@
 //! Run every experiment in sequence and emit all tables + JSON.
-//! `--quick` runs the reduced presets (CI-friendly).
+//! `--quick` runs the reduced presets (CI-friendly); `--threads N`
+//! runs cluster simulations on N rank-execution worker threads
+//! (results are bit-identical at any thread count).
 use nvm_bench::experiments::*;
 use nvm_bench::report::write_json;
-use nvm_bench::scale::Scale;
+use nvm_bench::scale::{threads_from, Scale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = threads_from(&args);
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    }
+    .with_threads(threads);
     let remote_scale = if quick {
         Scale::quick()
     } else {
         Scale::paper_remote()
-    };
+    }
+    .with_threads(threads);
 
-    println!("# NVM-checkpoints — full experiment suite ({})",
-             if quick { "quick preset" } else { "paper preset" });
+    println!(
+        "# NVM-checkpoints — full experiment suite ({}, {} rank-execution thread{})",
+        if quick {
+            "quick preset"
+        } else {
+            "paper preset"
+        },
+        threads,
+        if threads == 1 { "" } else { "s" }
+    );
 
     let t1 = table1::run();
     table1::render(&t1).print();
@@ -27,7 +45,11 @@ fn main() {
     write_json("fig4_parallel_memcpy", &f4);
 
     let mad = madbench::run();
-    madbench::render("MADBench2 — ramdisk vs in-memory checkpoint (cost model)", &mad).print();
+    madbench::render(
+        "MADBench2 — ramdisk vs in-memory checkpoint (cost model)",
+        &mad,
+    )
+    .print();
     write_json("madbench_ramdisk_vs_memory", &mad);
 
     let t4 = table4::run();
@@ -35,7 +57,11 @@ fn main() {
     write_json("table4_chunk_distribution", &t4);
 
     for (fig, app, title) in [
-        ("fig7_lammps_local", "lammps", "Figure 7 — LAMMPS local checkpoint"),
+        (
+            "fig7_lammps_local",
+            "lammps",
+            "Figure 7 — LAMMPS local checkpoint",
+        ),
         ("fig8_gtc_local", "gtc", "Figure 8 — GTC local checkpoint"),
         ("cm1_local", "cm1", "CM1 local checkpoint"),
     ] {
@@ -74,6 +100,10 @@ fn main() {
         cluster_sim::unrecoverable_probability(&rel) * 100.0,
         cluster_sim::expected_failures(&rel),
     );
+
+    let sc = scaling::run(&scale);
+    scaling::render(&sc).print();
+    write_json("scaling_threads", &sc);
 
     let g = ablations::run_granularity(&scale);
     ablations::render_granularity(&g).print();

@@ -117,15 +117,9 @@ pub fn run_versioning(scale: &Scale) -> Vec<VersioningRow> {
                 .with_materialization(Materialization::Synthetic)
                 .with_checksums(false)
                 .with_versioning(v);
-            let mut engine = CheckpointEngine::new(
-                0,
-                &dram,
-                &nvm,
-                scale.container_bytes(),
-                clock,
-                cfg,
-            )
-            .expect("engine");
+            let mut engine =
+                CheckpointEngine::new(0, &dram, &nvm, scale.container_bytes(), clock, cfg)
+                    .expect("engine");
             let mut app = make_app("lammps", scale);
             app.setup(&mut engine).expect("setup");
             for i in 0..4 {

@@ -362,7 +362,12 @@ pub fn render(
     }
     let mut t4 = Table::new(
         "Extension — wear leveling under checkpoint traffic (20k checkpoints)",
-        &["Scheme", "Max frame wear", "Imbalance", "Years to first death @1 ckpt/min"],
+        &[
+            "Scheme",
+            "Max frame wear",
+            "Imbalance",
+            "Years to first death @1 ckpt/min",
+        ],
     );
     for r in wear {
         t4.row(vec![
@@ -374,7 +379,12 @@ pub fn render(
     }
     let mut t5 = Table::new(
         "Extension — NVM write energy by pre-copy policy (hot-chunk workload)",
-        &["Policy", "Moved (MB)", "NVM energy (J)", "nJ / committed byte"],
+        &[
+            "Policy",
+            "Moved (MB)",
+            "NVM energy (J)",
+            "nJ / committed byte",
+        ],
     );
     for r in energy {
         t5.row(vec![

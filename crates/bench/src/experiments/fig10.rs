@@ -82,9 +82,7 @@ pub fn render(r: &Fig10Result) -> Table {
     let step = len.div_ceil(40).max(1);
     let mb = (1 << 20) as f64;
     for i in (0..len).step_by(step) {
-        let window = |s: &[f64]| -> f64 {
-            s.iter().skip(i).take(step).sum::<f64>()
-        };
+        let window = |s: &[f64]| -> f64 { s.iter().skip(i).take(step).sum::<f64>() };
         t.row(vec![
             format!("{:.0}", i as f64 * r.bucket_s),
             format!("{:.1}", window(&r.precopy_series) / mb),

@@ -83,8 +83,7 @@ pub fn run(app: &str, scale: &Scale) -> Vec<LocalRow> {
         // the no-pre-copy time; we add only the interface delta.
         let ranks = scale.total_ranks() as u64;
         let ckpts = nopre.local_checkpoints.max(1);
-        let bytes_per_ckpt =
-            (nopre.engine_stats.total_copied_bytes() / ranks / ckpts) as usize;
+        let bytes_per_ckpt = (nopre.engine_stats.total_copied_bytes() / ranks / ckpts) as usize;
         let mut rd = RamdiskSink::new();
         let mut mem = MemorySink::new();
         let extra_per_ckpt = rd

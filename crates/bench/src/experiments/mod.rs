@@ -12,6 +12,7 @@ pub mod fig9;
 pub mod local;
 pub mod madbench;
 pub mod model_val;
+pub mod scaling;
 pub mod table1;
 pub mod table4;
 pub mod table5;
@@ -40,6 +41,7 @@ pub fn cluster_config(scale: &Scale, policy: PrecopyPolicy) -> ClusterConfig {
     c.engine = c.engine.with_precopy(policy);
     c.local_interval = Some(scale.local_interval);
     c.iterations = scale.iterations;
+    c.threads = scale.threads;
     c
 }
 

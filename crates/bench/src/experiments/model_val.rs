@@ -56,13 +56,18 @@ pub fn run() -> Vec<ModelValRow> {
         cfg.local_interval = Some(interval);
         cfg.iterations = iterations;
         cfg.failures = Some(FailureConfig {
-            seed: 42,
+            seed: 3,
             mtbf_soft: SimDuration::from_secs(mtbf_soft),
             mtbf_hard: SimDuration::from_secs(1_000_000_000),
         });
         cfg.failure_horizon = SimDuration::from_secs(3600);
         let factory = move |_g: u64| -> Box<dyn Workload> {
-            Box::new(UniformWorkload::new(chunks, chunk_bytes, compute_per_iter, 0))
+            Box::new(UniformWorkload::new(
+                chunks,
+                chunk_bytes,
+                compute_per_iter,
+                0,
+            ))
         };
         let sim = ClusterSim::new(cfg, factory)
             .expect("sim")

@@ -1,0 +1,101 @@
+//! Thread-scaling experiment: wall-clock speedup of parallel rank
+//! execution, with the bit-identical-results guarantee checked on
+//! every row.
+//!
+//! All simulated quantities are virtual time, so the thread count
+//! never changes a result — only how long the host takes to produce
+//! it. Each row runs the same LAMMPS-shaped configuration at one
+//! thread count, records host wall-clock time, and verifies that the
+//! serialized [`cluster_sim::RunResult`] matches the serial run byte
+//! for byte. Speedup is relative to the 1-thread row; on a single-core
+//! host expect ~1.0 across the board (the determinism column is still
+//! meaningful there).
+
+use super::{cluster_config, make_app};
+use crate::report::Table;
+use crate::scale::Scale;
+use cluster_sim::ClusterSim;
+use nvm_chkpt::PrecopyPolicy;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Thread counts swept (serial first: it is the baseline and the
+/// reference output).
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One thread-count measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Worker threads used for rank execution.
+    pub threads: usize,
+    /// Host wall-clock time for the run, milliseconds.
+    pub wall_ms: f64,
+    /// Wall-clock speedup versus the serial row.
+    pub speedup_vs_serial: f64,
+    /// Whether the serialized result matched the serial run exactly.
+    pub identical_to_serial: bool,
+    /// Simulated (virtual) time of the run, seconds — identical on
+    /// every row by construction.
+    pub virtual_secs: f64,
+}
+
+/// Run the sweep at the given scale.
+pub fn run(scale: &Scale) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut serial_json = String::new();
+    let mut serial_ms = f64::NAN;
+    for &threads in &THREAD_SWEEP {
+        let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp);
+        cfg.threads = threads;
+        let sim = ClusterSim::new(cfg, |_| make_app("lammps", scale)).expect("cluster setup");
+        let start = Instant::now();
+        let result = sim.run().expect("cluster run");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let json = serde_json::to_string(&result).expect("serialize result");
+        if threads == 1 {
+            serial_json = json.clone();
+            serial_ms = wall_ms;
+        }
+        rows.push(Row {
+            threads,
+            wall_ms,
+            speedup_vs_serial: serial_ms / wall_ms.max(1e-6),
+            identical_to_serial: json == serial_json,
+            virtual_secs: result.total_time.as_secs_f64(),
+        });
+    }
+    rows
+}
+
+/// Markdown table for the sweep.
+pub fn render(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Thread scaling — parallel rank execution (LAMMPS, DCPCP)",
+        &["threads", "wall ms", "speedup", "bit-identical"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.threads.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.2}x", r.speedup_vs_serial),
+            if r.identical_to_serial { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_renders() {
+        let rows = run(&Scale::quick());
+        assert_eq!(rows.len(), THREAD_SWEEP.len());
+        assert!(rows.iter().all(|r| r.identical_to_serial));
+        assert!((rows[0].speedup_vs_serial - 1.0).abs() < 1e-9);
+        let v0 = rows[0].virtual_secs;
+        assert!(rows.iter().all(|r| r.virtual_secs == v0));
+        assert_eq!(render(&rows).len(), rows.len());
+    }
+}

@@ -28,6 +28,10 @@ pub struct Scale {
     pub compute_per_iter: SimDuration,
     /// Local checkpoint interval (the paper sets 40 s).
     pub local_interval: SimDuration,
+    /// Worker threads for rank execution (`--threads N`; 1 = serial).
+    /// Results are bit-identical at any thread count — this only
+    /// changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Scale {
@@ -40,6 +44,7 @@ impl Scale {
             iterations: 24,
             compute_per_iter: SimDuration::from_secs(10),
             local_interval: SimDuration::from_secs(40),
+            threads: 1,
         }
     }
 
@@ -60,17 +65,28 @@ impl Scale {
             iterations: 8,
             compute_per_iter: SimDuration::from_secs(5),
             local_interval: SimDuration::from_secs(10),
+            threads: 1,
         }
     }
 
     /// Pick a preset from process args: `--quick` selects the small
-    /// one.
+    /// one, `--threads N` (or `--threads=N`) sets the rank-execution
+    /// worker count.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--quick") {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--quick") {
             Self::quick()
         } else {
             Self::paper()
-        }
+        };
+        scale.threads = threads_from(&args);
+        scale
+    }
+
+    /// Override the worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Container bytes per rank needed for this scale (two version
@@ -86,6 +102,24 @@ impl Scale {
     }
 }
 
+/// Parse `--threads N` / `--threads=N` out of an argument list
+/// (defaults to 1; invalid values are ignored rather than fatal).
+pub fn threads_from(args: &[String]) -> usize {
+    let mut threads = 1;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--threads" {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                threads = n;
+            }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse() {
+                threads = n;
+            }
+        }
+    }
+    threads.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +132,21 @@ mod tests {
         let q = Scale::quick();
         assert!(q.container_bytes() < p.container_bytes());
         assert!(q.size_scale < 1.0);
+        assert_eq!(p.threads, 1);
+        assert_eq!(q.with_threads(4).threads, 4);
+        assert_eq!(q.with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn threads_arg_parsing() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_from(&to_args(&["bin"])), 1);
+        assert_eq!(threads_from(&to_args(&["bin", "--threads", "8"])), 8);
+        assert_eq!(
+            threads_from(&to_args(&["bin", "--threads=4", "--quick"])),
+            4
+        );
+        assert_eq!(threads_from(&to_args(&["bin", "--threads", "zero"])), 1);
+        assert_eq!(threads_from(&to_args(&["bin", "--threads", "0"])), 1);
     }
 }

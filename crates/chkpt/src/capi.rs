@@ -257,7 +257,7 @@ pub unsafe extern "C" fn nvread(
 #[no_mangle]
 pub unsafe extern "C" fn nvcompute(ctx: *mut NvmCtx, seconds: f64) -> i32 {
     let Some(c) = ctx_mut(ctx) else { return -1 };
-    if !(seconds >= 0.0) || !seconds.is_finite() {
+    if seconds < 0.0 || !seconds.is_finite() {
         set_error("invalid duration");
         return -1;
     }
@@ -326,13 +326,7 @@ pub unsafe extern "C" fn nvm_simulate_restart(ctx: *mut NvmCtx) -> i64 {
     let Some(c) = ctx_mut(ctx) else { return -1 };
     let region = c.engine.metadata_region();
     // Build the replacement engine before dropping the old one.
-    match CheckpointEngine::restart(
-        &c.dram,
-        &c.nvm,
-        region,
-        c.clock.clone(),
-        *c.engine.config(),
-    ) {
+    match CheckpointEngine::restart(&c.dram, &c.nvm, region, c.clock.clone(), *c.engine.config()) {
         Ok((engine, report)) => {
             c.engine = engine;
             report.restored.len() as i64

@@ -25,13 +25,15 @@
 
 use crate::checksum::crc64;
 use crate::config::EngineConfig;
-use crate::restart::RestartStrategy;
 #[cfg(test)]
 use crate::config::PrecopyPolicy;
 use crate::precopy::PrecopyPlanner;
-use crate::predict::{PredictionTable, PredictionStats};
+use crate::predict::{PredictionStats, PredictionTable};
+use crate::restart::RestartStrategy;
 use crate::stats::{EngineStats, EpochReport};
-use nvm_emu::{pages_for, DeviceError, MemoryDevice, RegionId, SimDuration, SimTime, VirtualClock, PAGE_SIZE};
+use nvm_emu::{
+    pages_for, DeviceError, MemoryDevice, RegionId, SimDuration, SimTime, VirtualClock, PAGE_SIZE,
+};
 use nvm_heap::{HeapError, Materialization, NvmHeap};
 use nvm_paging::metadata::MetadataError;
 use nvm_paging::{ChunkId, MetadataRegion, Mmu};
@@ -394,14 +396,11 @@ impl CheckpointEngine {
     }
 
     fn next_precopy_candidate(&self) -> Option<ChunkId> {
-        self.heap
-            .persistent_ids()
-            .into_iter()
-            .find(|id| {
-                self.mmu.is_dirty(*id)
-                    && !self.precopy_done.contains(id)
-                    && (!self.config.precopy.predictive() || self.predictor.ready_for_precopy(*id))
-            })
+        self.heap.persistent_ids().into_iter().find(|id| {
+            self.mmu.is_dirty(*id)
+                && !self.precopy_done.contains(id)
+                && (!self.config.precopy.predictive() || self.predictor.ready_for_precopy(*id))
+        })
     }
 
     // ------------------------------------------------------------------
@@ -437,7 +436,9 @@ impl CheckpointEngine {
 
             if copy_now {
                 let slot = chunk.in_progress_slot(self.heap.versioning());
-                let cost = self.heap.shadow_copy(id, slot, self.config.node_concurrency)?;
+                let cost = self
+                    .heap
+                    .shadow_copy(id, slot, self.config.node_concurrency)?;
                 self.clock.advance(cost);
                 coordinated_bytes += len;
                 to_commit.push(id);
@@ -458,15 +459,14 @@ impl CheckpointEngine {
             };
             let flush_cost = self.heap.flush_version(id, slot)?;
             self.clock.advance(flush_cost);
-            let checksum = if self.config.checksums
-                && self.heap.materialization() == Materialization::Bytes
-            {
-                let (data, read_cost) = self.heap.read_version(id, slot)?;
-                self.clock.advance(read_cost);
-                Some(crc64(&data))
-            } else {
-                None
-            };
+            let checksum =
+                if self.config.checksums && self.heap.materialization() == Materialization::Bytes {
+                    let (data, read_cost) = self.heap.read_version(id, slot)?;
+                    self.clock.advance(read_cost);
+                    Some(crc64(&data))
+                } else {
+                    None
+                };
             let epoch = self.epoch;
             let chunk = self.heap.chunk_mut(id)?;
             chunk.committed_slot = Some(slot);
@@ -543,19 +543,20 @@ impl CheckpointEngine {
         }
         let slot = chunk.in_progress_slot(self.heap.versioning());
         let len = chunk.len as u64;
-        let cost = self.heap.shadow_copy(id, slot, self.config.node_concurrency)?;
+        let cost = self
+            .heap
+            .shadow_copy(id, slot, self.config.node_concurrency)?;
         self.clock.advance(cost);
         let flush_cost = self.heap.flush_version(id, slot)?;
         self.clock.advance(flush_cost);
-        let checksum = if self.config.checksums
-            && self.heap.materialization() == Materialization::Bytes
-        {
-            let (data, read_cost) = self.heap.read_version(id, slot)?;
-            self.clock.advance(read_cost);
-            Some(crc64(&data))
-        } else {
-            None
-        };
+        let checksum =
+            if self.config.checksums && self.heap.materialization() == Materialization::Bytes {
+                let (data, read_cost) = self.heap.read_version(id, slot)?;
+                self.clock.advance(read_cost);
+                Some(crc64(&data))
+            } else {
+                None
+            };
         let epoch = self.epoch;
         let chunk = self.heap.chunk_mut(id)?;
         chunk.committed_slot = Some(slot);
@@ -616,7 +617,8 @@ impl CheckpointEngine {
         let metadata = MetadataRegion::open(nvm, metadata_region)?;
         let (meta, load_cost) = metadata.load()?;
         clock.advance(load_cost);
-        let mut heap = NvmHeap::reopen(dram, nvm, &meta, config.materialization, config.versioning)?;
+        let mut heap =
+            NvmHeap::reopen(dram, nvm, &meta, config.materialization, config.versioning)?;
         let mut mmu = Mmu::with_granularity(config.granularity);
         let mut report = RestartReport::default();
         let mut lazy_pending = BTreeSet::new();
@@ -892,8 +894,7 @@ mod tests {
         drop(e); // process dies (soft failure)
 
         let (mut e2, report) =
-            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default())
-                .unwrap();
+            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default()).unwrap();
         assert_eq!(report.restored.len(), 2);
         assert!(report.corrupt.is_empty());
         let mut buf = vec![0u8; 4096];
@@ -923,8 +924,7 @@ mod tests {
         drop(e); // crash
 
         let (mut e2, report) =
-            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default())
-                .unwrap();
+            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default()).unwrap();
         assert_eq!(report.restored, vec![a]);
         let mut buf = vec![0u8; 4096];
         e2.read(a, 0, &mut buf).unwrap();
@@ -942,8 +942,7 @@ mod tests {
         drop(e);
 
         let (_e2, report) =
-            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default())
-                .unwrap();
+            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default()).unwrap();
         assert_eq!(report.corrupt, vec![a], "checksum must catch corruption");
         assert!(report.restored.is_empty());
     }
@@ -1334,8 +1333,7 @@ mod tests {
         let region = e.metadata_region();
         drop(e);
         let (e2, report) =
-            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default())
-                .unwrap();
+            CheckpointEngine::restart(&dram, &nvm, region, clock, EngineConfig::default()).unwrap();
         assert_eq!(report.restored, vec![keep], "deleted chunk stays gone");
         assert!(e2.heap().chunk(gone).is_err());
     }

@@ -57,8 +57,8 @@ pub use compress::{compress, decompress, CompressionModel, CompressionStats};
 pub use config::{EngineConfig, PrecopyPolicy};
 pub use engine::{CheckpointEngine, EngineError, RestartReport};
 pub use precopy::PrecopyPlanner;
-pub use restart::RestartStrategy;
 pub use predict::PredictionTable;
+pub use restart::RestartStrategy;
 pub use stats::{EngineStats, EpochReport};
 pub use transparent::TransparentProcess;
 

@@ -63,8 +63,8 @@ impl PrecopyPlanner {
                 self.data_bytes = data_bytes as f64;
             }
             Some(prev) => {
-                let blended = prev.as_secs_f64() * (1.0 - ADAPT_ALPHA)
-                    + interval.as_secs_f64() * ADAPT_ALPHA;
+                let blended =
+                    prev.as_secs_f64() * (1.0 - ADAPT_ALPHA) + interval.as_secs_f64() * ADAPT_ALPHA;
                 self.interval = Some(SimDuration::from_secs_f64(blended));
                 self.data_bytes =
                     self.data_bytes * (1.0 - ADAPT_ALPHA) + data_bytes as f64 * ADAPT_ALPHA;
@@ -122,7 +122,11 @@ mod tests {
         let mut p = PrecopyPlanner::new();
         // I = 40 s, D = 400 MB, BW = 400 MB/s  =>  T_c = 1.2 s (with
         // 1.2 headroom), T_p = 38.8 s.
-        p.observe(SimDuration::from_secs(40), 400 << 20, 400.0 * (1 << 20) as f64);
+        p.observe(
+            SimDuration::from_secs(40),
+            400 << 20,
+            400.0 * (1 << 20) as f64,
+        );
         let tc = p.estimated_checkpoint_time();
         assert!((tc.as_secs_f64() - 1.2).abs() < 1e-9);
         let tp = p.start_offset().unwrap();
@@ -136,7 +140,11 @@ mod tests {
         let mut p = PrecopyPlanner::new();
         // Copy time (10 GB at 100 MB/s = 100 s) exceeds the 40 s
         // interval: clamp to zero.
-        p.observe(SimDuration::from_secs(40), 10 << 30, 100.0 * (1 << 20) as f64);
+        p.observe(
+            SimDuration::from_secs(40),
+            10 << 30,
+            100.0 * (1 << 20) as f64,
+        );
         assert_eq!(p.start_offset().unwrap(), SimDuration::ZERO);
     }
 

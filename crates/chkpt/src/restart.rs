@@ -21,8 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How a restarted process repopulates its DRAM working copies.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum RestartStrategy {
     /// Verify + restore everything before returning (the baseline).
     #[default]
@@ -35,7 +34,6 @@ pub enum RestartStrategy {
     /// Defer each chunk's verify + restore to its first access.
     Lazy,
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -44,14 +44,8 @@ impl TransparentProcess {
         segment_bytes: usize,
     ) -> Result<Self, EngineError> {
         assert!(segment_bytes > 0 && address_space > 0);
-        let mut engine = CheckpointEngine::new(
-            process_id,
-            dram,
-            nvm,
-            container_capacity,
-            clock,
-            config,
-        )?;
+        let mut engine =
+            CheckpointEngine::new(process_id, dram, nvm, container_capacity, clock, config)?;
         let mut segments = Vec::new();
         let mut off = 0;
         let mut i = 0;
@@ -177,7 +171,10 @@ mod tests {
 
     const MB: usize = 1 << 20;
 
-    fn proc(space: usize, seg: usize) -> (TransparentProcess, MemoryDevice, MemoryDevice, VirtualClock) {
+    fn proc(
+        space: usize,
+        seg: usize,
+    ) -> (TransparentProcess, MemoryDevice, MemoryDevice, VirtualClock) {
         let dram = MemoryDevice::dram(64 * MB);
         let nvm = MemoryDevice::pcm(64 * MB);
         let clock = VirtualClock::new();
@@ -223,15 +220,9 @@ mod tests {
         let region = p.metadata_region();
         drop(p);
 
-        let (mut p2, restart) = TransparentProcess::restart(
-            &dram,
-            &nvm,
-            region,
-            clock,
-            EngineConfig::default(),
-            4096,
-        )
-        .unwrap();
+        let (mut p2, restart) =
+            TransparentProcess::restart(&dram, &nvm, region, clock, EngineConfig::default(), 4096)
+                .unwrap();
         assert_eq!(restart.restored.len(), 8);
         assert_eq!(p2.segment_count(), 8);
         let mut buf = vec![0u8; 32 * 1024];

@@ -13,7 +13,12 @@ use nvm_emu::SimDuration;
 use nvm_paging::ChunkId;
 
 /// One rank's application behaviour.
-pub trait Workload {
+///
+/// `Send` is required because [`crate::run::ClusterSim`] executes
+/// ranks on a worker pool when [`crate::run::ClusterConfig::threads`]
+/// is greater than one; workloads hold only plain data, so this is
+/// not restrictive in practice.
+pub trait Workload: Send {
     /// Human-readable name.
     fn name(&self) -> &str;
 

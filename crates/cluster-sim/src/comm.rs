@@ -81,8 +81,7 @@ impl Collective {
             }
             Collective::AllReduce => {
                 // Rabenseifner: 2 log p latency, 2 (p-1)/p n bandwidth.
-                ab.alpha * (2 * logp)
-                    + byte_time(2 * bytes * (p as u64 - 1) / p as u64)
+                ab.alpha * (2 * logp) + byte_time(2 * bytes * (p as u64 - 1) / p as u64)
             }
             Collective::AllToAll => {
                 // Pairwise: p-1 rounds of n/p each.
@@ -214,8 +213,7 @@ mod tests {
         // Large payloads: allreduce's 2n bandwidth term takes over.
         let big = 64 << 20;
         assert!(
-            Collective::AllReduce.time(big, p, &ab())
-                > Collective::AllToAll.time(big, p, &ab())
+            Collective::AllReduce.time(big, p, &ab()) > Collective::AllToAll.time(big, p, &ab())
         );
     }
 

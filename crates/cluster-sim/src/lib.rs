@@ -42,7 +42,9 @@ pub mod schedule;
 pub use app::{UniformWorkload, Workload};
 pub use comm::{AlphaBeta, Collective, CommPattern};
 pub use failure::{FailureConfig, FailureEvent, FailureKind, FailureSchedule};
-pub use model::{evaluate, optimal_interval, plan_two_level, ModelParams, ModelPrediction, TwoLevelPlan};
+pub use model::{
+    evaluate, optimal_interval, plan_two_level, ModelParams, ModelPrediction, TwoLevelPlan,
+};
 pub use reliability::{expected_failures, unrecoverable_probability, ReliabilityParams};
 pub use run::{ClusterConfig, ClusterSim, RemoteConfig, RunResult, SimError};
 pub use schedule::{Activity, ScheduleTrace, Span};

@@ -101,8 +101,8 @@ pub fn evaluate(p: &ModelParams) -> ModelPrediction {
     let mut t_total = base;
     for _ in 0..100 {
         let f_remote = t_total / p.mtbf_remote.as_secs_f64();
-        let remote_cost = f_remote
-            * (p.r_remote.as_secs_f64() + p.k.max(1) as f64 * (interval + t_lcl) / 2.0);
+        let remote_cost =
+            f_remote * (p.r_remote.as_secs_f64() + p.k.max(1) as f64 * (interval + t_lcl) / 2.0);
         let next = base + remote_cost;
         if (next - t_total).abs() < 1e-9 {
             t_total = next;
@@ -148,11 +148,7 @@ pub struct TwoLevelPlan {
 pub fn plan_two_level(base: &ModelParams) -> TwoLevelPlan {
     let t_lcl = base.data_bytes as f64 / base.nvm_bw_core;
     // Young's interval anchors the sweep range.
-    let young = optimal_interval(
-        SimDuration::from_secs_f64(t_lcl),
-        base.mtbf_local,
-    )
-    .as_secs_f64();
+    let young = optimal_interval(SimDuration::from_secs_f64(t_lcl), base.mtbf_local).as_secs_f64();
     let mut best = TwoLevelPlan {
         local_interval: base.local_interval,
         k: base.k.max(1),
@@ -282,8 +278,10 @@ mod tests {
     fn planner_tracks_failure_regimes() {
         let base = base_params();
         let plan = plan_two_level(&base);
-        assert!(plan.efficiency > evaluate(&base).efficiency - 1e-12,
-            "planned config can only improve on the default");
+        assert!(
+            plan.efficiency > evaluate(&base).efficiency - 1e-12,
+            "planned config can only improve on the default"
+        );
         assert!(plan.k >= 1);
 
         // Frequent hard failures -> remote checkpoints more often

@@ -101,10 +101,8 @@ mod tests {
     fn first_order_approximation_matches_exact() {
         let p = ReliabilityParams::zheng_ftc_charm();
         let pf = per_interval_failure(&p);
-        let approx = (p.nodes as f64 / 2.0)
-            * (p.runtime.as_secs_f64() / p.interval.as_secs_f64())
-            * pf
-            * pf;
+        let approx =
+            (p.nodes as f64 / 2.0) * (p.runtime.as_secs_f64() / p.interval.as_secs_f64()) * pf * pf;
         let exact = unrecoverable_probability(&p);
         assert!((approx / exact - 1.0).abs() < 1e-3);
     }

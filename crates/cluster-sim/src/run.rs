@@ -87,6 +87,15 @@ pub struct ClusterConfig {
     pub failures: Option<FailureConfig>,
     /// Horizon for failure-schedule generation.
     pub failure_horizon: SimDuration,
+    /// Worker threads for rank execution (`1` = fully serial). Ranks
+    /// advance private virtual clocks inside an epoch and synchronize
+    /// only at the coordinated-checkpoint barriers, so a parallel run
+    /// is bit-identical to a serial run on the same seed: per-rank
+    /// state is disjoint, device charge costs depend only on
+    /// length/concurrency (never on arrival order), and every
+    /// cross-rank reduction iterates in rank order on the
+    /// coordinator.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -107,7 +116,14 @@ impl ClusterConfig {
             iterations: 10,
             failures: None,
             failure_horizon: SimDuration::from_secs(86_400),
+            threads: 1,
         }
+    }
+
+    /// Set the rank-execution worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The matching ideal (no checkpoint, no failure) configuration —
@@ -208,6 +224,69 @@ struct Rank {
     clock: VirtualClock,
     engine: CheckpointEngine,
     workload: Box<dyn Workload>,
+}
+
+// The worker pool moves `&mut Rank` across scoped threads; everything
+// a rank owns (engine, clock, workload) must therefore be `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Rank>();
+    assert_send::<SimError>();
+};
+
+/// Run `f` over every rank, in rank order when `threads == 1`, or on
+/// `threads` scoped worker threads over contiguous rank-ordered chunks
+/// otherwise.
+///
+/// Correctness under concurrency rests on three properties that the
+/// determinism regression tests pin down:
+///
+/// * ranks touch only their own engine/workload/clock (node devices
+///   are shared, but their charge costs and statistics are functions
+///   of length and configured concurrency, never of arrival order);
+/// * no rank reads another rank's clock inside an epoch — cross-rank
+///   time only flows through barriers, which the caller runs serially;
+/// * errors are reported by the lowest global rank that failed, so a
+///   failing run is also deterministic.
+fn for_each_rank_parallel<F>(ranks: &mut [Vec<Rank>], threads: usize, f: F) -> Result<(), SimError>
+where
+    F: Fn(&mut Rank) -> Result<(), SimError> + Sync,
+{
+    let mut flat: Vec<&mut Rank> = ranks.iter_mut().flatten().collect();
+    if threads <= 1 || flat.len() <= 1 {
+        for rank in flat {
+            f(rank)?;
+        }
+        return Ok(());
+    }
+    let chunk = flat.len().div_ceil(threads.min(flat.len()));
+    let mut failures: Vec<(u64, SimError)> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = flat
+            .chunks_mut(chunk)
+            .map(|ranks| {
+                scope.spawn(move || {
+                    let mut failed = Vec::new();
+                    for rank in ranks.iter_mut() {
+                        if let Err(e) = f(rank) {
+                            failed.push((rank.global, e));
+                            break;
+                        }
+                    }
+                    failed
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rank worker panicked"))
+            .collect()
+    });
+    failures.sort_by_key(|(global, _)| *global);
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
 }
 
 struct NodeDevices {
@@ -385,13 +464,13 @@ impl ClusterSim {
                 }
             }
 
-            // -- 1: application iteration -------------------------------
+            // -- 1: application iteration (parallel epoch) --------------
             let rank0_before = self.ranks[0][0].clock.now();
-            for node_ranks in self.ranks.iter_mut() {
-                for rank in node_ranks.iter_mut() {
-                    rank.workload.iterate(&mut rank.engine, iter)?;
-                }
-            }
+            for_each_rank_parallel(&mut self.ranks, self.config.threads, |rank| {
+                rank.workload
+                    .iterate(&mut rank.engine, iter)
+                    .map_err(SimError::from)
+            })?;
             trace.record(
                 Activity::Compute,
                 rank0_before,
@@ -407,13 +486,13 @@ impl ClusterSim {
                         .map(|r| r.clock.now())
                         .max()
                         .unwrap_or(iter_start);
-                    let window = window_end.since(iter_start).max(SimDuration::from_millis(1));
+                    let window = window_end
+                        .since(iter_start)
+                        .max(SimDuration::from_millis(1));
                     if rc.precopy {
                         // The helper continuously polls nvdirty state.
-                        let chunk_count: usize = self.ranks[n]
-                            .iter()
-                            .map(|r| r.engine.heap().len())
-                            .sum();
+                        let chunk_count: usize =
+                            self.ranks[n].iter().map(|r| r.engine.heap().len()).sum();
                         self.nodes[n].helper.scan(chunk_count);
                     }
                     self.nodes[n].helper.advance(window);
@@ -427,10 +506,11 @@ impl ClusterSim {
                         let fabric = AlphaBeta::infiniband(self.nodes[n].link.capacity());
                         let total_ranks = self.config.nodes * self.config.ranks_per_node;
                         for rank in self.ranks[n].iter_mut() {
-                            let delay = rank
-                                .workload
-                                .comm_pattern()
-                                .contention_delay(total_ranks, &fabric, rate);
+                            let delay = rank.workload.comm_pattern().contention_delay(
+                                total_ranks,
+                                &fabric,
+                                rate,
+                            );
                             if !delay.is_zero() {
                                 rank.clock.advance(delay);
                                 if n == 0 && rank.global == 0 {
@@ -458,11 +538,12 @@ impl ClusterSim {
             };
             if local_due {
                 let t0 = self.barrier();
-                for node_ranks in self.ranks.iter_mut() {
-                    for rank in node_ranks.iter_mut() {
-                        rank.engine.nvchkptall()?;
-                    }
-                }
+                for_each_rank_parallel(&mut self.ranks, self.config.threads, |rank| {
+                    rank.engine
+                        .nvchkptall()
+                        .map(|_report| ())
+                        .map_err(SimError::from)
+                })?;
                 let t1 = self.barrier();
                 trace.record(Activity::LocalCheckpoint, t0, t1);
                 last_local_end = t1;
@@ -511,22 +592,15 @@ impl ClusterSim {
                             for rank in self.ranks[n].iter_mut() {
                                 for id in rank.engine.remote_stable_chunks() {
                                     let len = rank.engine.chunk_len(id)? as u64;
-                                    self.stores[n].put_synthetic(
-                                        rank.global,
-                                        id,
-                                        len as usize,
-                                    )?;
+                                    self.stores[n].put_synthetic(rank.global, id, len as usize)?;
                                     self.nodes[n].helper.copy_chunk(len);
                                     rank.engine.mark_remote_copied(id);
                                     shipped += len;
                                 }
                             }
                             if shipped > 0 {
-                                let window =
-                                    SimDuration::for_transfer(shipped, incr_bw);
-                                let dur = self.nodes[n]
-                                    .link
-                                    .transfer_spread(t1, shipped, window);
+                                let window = SimDuration::for_transfer(shipped, incr_bw);
+                                let dur = self.nodes[n].link.transfer_spread(t1, shipped, window);
                                 let rate = shipped as f64 / dur.as_secs_f64();
                                 self.nodes[n].add_flow(t1 + dur, rate);
                                 cluster_end = cluster_end.max(t1 + dur);
@@ -542,11 +616,7 @@ impl ClusterSim {
                             for rank in self.ranks[n].iter_mut() {
                                 for id in rank.engine.heap().persistent_ids() {
                                     let len = rank.engine.chunk_len(id)? as u64;
-                                    self.stores[n].put_synthetic(
-                                        rank.global,
-                                        id,
-                                        len as usize,
-                                    )?;
+                                    self.stores[n].put_synthetic(rank.global, id, len as usize)?;
                                     self.nodes[n].helper.copy_bulk(len);
                                     rank.engine.mark_remote_copied(id);
                                     volume += len;
@@ -556,13 +626,9 @@ impl ClusterSim {
                                 // The burst is staged by the helper at
                                 // its bulk copy rate (the wire itself
                                 // is faster but fed by one core).
-                                let window = SimDuration::for_transfer(
-                                    volume,
-                                    rc.helper.bulk_bandwidth,
-                                );
-                                let dur = self.nodes[n]
-                                    .link
-                                    .transfer_spread(t1, volume, window);
+                                let window =
+                                    SimDuration::for_transfer(volume, rc.helper.bulk_bandwidth);
+                                let dur = self.nodes[n].link.transfer_spread(t1, volume, window);
                                 let rate = volume as f64 / dur.as_secs_f64();
                                 self.nodes[n].add_flow(t1 + dur, rate);
                                 cluster_end = cluster_end.max(t1 + dur);
@@ -595,11 +661,7 @@ impl ClusterSim {
             remote_checkpoints: remote_ckpts,
             engine_stats,
             rank0_epochs: self.ranks[0][0].engine.log().to_vec(),
-            link_traces: self
-                .nodes
-                .iter()
-                .map(|n| n.link.trace().clone())
-                .collect(),
+            link_traces: self.nodes.iter().map(|n| n.link.trace().clone()).collect(),
             helper_stats: self.nodes.iter().map(|n| n.helper.stats()).collect(),
             helper_utilization: self
                 .nodes
@@ -678,7 +740,10 @@ mod tests {
     #[test]
     fn ideal_variant_is_faster_than_checkpointed() {
         let cfg = small_config();
-        let actual = ClusterSim::new(cfg.clone(), factory).unwrap().run().unwrap();
+        let actual = ClusterSim::new(cfg.clone(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
         let ideal = ClusterSim::new(cfg.ideal_variant(), factory)
             .unwrap()
             .run()
@@ -764,7 +829,10 @@ mod tests {
             mtbf_hard: SimDuration::from_secs(1_000_000),
         });
         cfg.failure_horizon = SimDuration::from_secs(300);
-        let r = ClusterSim::new(cfg.clone(), factory).unwrap().run().unwrap();
+        let r = ClusterSim::new(cfg.clone(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(r.soft_failures > 0, "expected soft failures");
         assert_eq!(r.hard_failures, 0);
         assert!(r.schedule.total(Activity::Restart) > SimDuration::ZERO);
@@ -774,6 +842,70 @@ mod tests {
         let r_clean = ClusterSim::new(clean, factory).unwrap().run().unwrap();
         assert!(r.total_time > r_clean.total_time);
         assert!(r.iterations_executed >= r_clean.iterations_executed);
+    }
+
+    #[test]
+    fn parallel_run_bit_identical_to_serial() {
+        let serial = ClusterSim::new(small_config(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        let parallel = ClusterSim::new(small_config().with_threads(3), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_run_reports_lowest_failing_rank_error() {
+        // A workload that fails on rank 2 at iteration 1: the parallel
+        // executor must surface that engine error deterministically.
+        struct Failing {
+            inner: UniformWorkload,
+            global: u64,
+        }
+        impl Workload for Failing {
+            fn name(&self) -> &str {
+                "failing"
+            }
+            fn setup(&mut self, engine: &mut CheckpointEngine) -> Result<(), EngineError> {
+                self.inner.setup(engine)
+            }
+            fn iterate(
+                &mut self,
+                engine: &mut CheckpointEngine,
+                iter: u64,
+            ) -> Result<(), EngineError> {
+                if self.global >= 2 && iter >= 1 {
+                    return Err(EngineError::NoCommittedData(nvm_paging::ChunkId(
+                        self.global,
+                    )));
+                }
+                self.inner.iterate(engine, iter)
+            }
+        }
+        let make = |g: u64| -> Box<dyn Workload> {
+            Box::new(Failing {
+                inner: UniformWorkload::new(4, 2 * MB, SimDuration::from_secs(2), 1 << 20),
+                global: g,
+            })
+        };
+        let err = ClusterSim::new(small_config().with_threads(4), make)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        // Ranks 2 and 3 both fail; the executor must report the lowest.
+        assert!(
+            matches!(
+                err,
+                SimError::Engine(EngineError::NoCommittedData(nvm_paging::ChunkId(2)))
+            ),
+            "{err}"
+        );
     }
 
     #[test]

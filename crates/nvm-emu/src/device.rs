@@ -552,7 +552,10 @@ mod tests {
         let solo = d.write_synthetic(r, 0, 33 * MB, 1).unwrap();
         let contended = d.write_synthetic(r, 0, 33 * MB, 12).unwrap();
         let ratio = contended.as_secs_f64() / solo.as_secs_f64();
-        assert!(ratio > 2.0, "12-way contention should be >2x slower: {ratio}");
+        assert!(
+            ratio > 2.0,
+            "12-way contention should be >2x slower: {ratio}"
+        );
     }
 
     #[test]

@@ -332,16 +332,28 @@ mod tests {
     #[test]
     fn reserve_carves_exact_ranges() {
         let mut a = Arena::new(10 * PAGE_SIZE);
-        assert!(a.reserve(Extent { offset: 3 * PAGE_SIZE, len: 2 * PAGE_SIZE }));
+        assert!(a.reserve(Extent {
+            offset: 3 * PAGE_SIZE,
+            len: 2 * PAGE_SIZE
+        }));
         // Overlapping reservation fails.
-        assert!(!a.reserve(Extent { offset: 4 * PAGE_SIZE, len: PAGE_SIZE }));
+        assert!(!a.reserve(Extent {
+            offset: 4 * PAGE_SIZE,
+            len: PAGE_SIZE
+        }));
         // Beyond capacity fails.
-        assert!(!a.reserve(Extent { offset: 9 * PAGE_SIZE, len: 2 * PAGE_SIZE }));
+        assert!(!a.reserve(Extent {
+            offset: 9 * PAGE_SIZE,
+            len: 2 * PAGE_SIZE
+        }));
         // Zero-length fails.
         assert!(!a.reserve(Extent { offset: 0, len: 0 }));
         // Allocation skips the reserved hole.
         let x = a.alloc(4 * PAGE_SIZE).unwrap();
-        assert!(!x.overlaps(&Extent { offset: 3 * PAGE_SIZE, len: 2 * PAGE_SIZE }));
+        assert!(!x.overlaps(&Extent {
+            offset: 3 * PAGE_SIZE,
+            len: 2 * PAGE_SIZE
+        }));
         assert_eq!(a.stats().allocated, 6 * PAGE_SIZE);
     }
 

@@ -73,8 +73,7 @@ impl Chunk {
 
     /// Extent of the committed version, if any.
     pub fn committed_extent(&self) -> Option<Extent> {
-        self.committed_slot
-            .and_then(|s| self.versions[s as usize])
+        self.committed_slot.and_then(|s| self.versions[s as usize])
     }
 
     /// Whether this chunk has ever been checkpointed.

@@ -313,7 +313,12 @@ impl NvmHeap {
     }
 
     /// Application write into the working copy (real bytes).
-    pub fn write(&mut self, id: ChunkId, offset: usize, data: &[u8]) -> Result<SimDuration, HeapError> {
+    pub fn write(
+        &mut self,
+        id: ChunkId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<SimDuration, HeapError> {
         let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;
         Ok(self.dram.write(chunk.dram_region, offset, data, 1)?)
     }
@@ -326,11 +331,18 @@ impl NvmHeap {
         len: usize,
     ) -> Result<SimDuration, HeapError> {
         let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;
-        Ok(self.dram.write_synthetic(chunk.dram_region, offset, len, 1)?)
+        Ok(self
+            .dram
+            .write_synthetic(chunk.dram_region, offset, len, 1)?)
     }
 
     /// Read from the working copy.
-    pub fn read(&self, id: ChunkId, offset: usize, buf: &mut [u8]) -> Result<SimDuration, HeapError> {
+    pub fn read(
+        &self,
+        id: ChunkId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<SimDuration, HeapError> {
         let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;
         Ok(self.dram.read(chunk.dram_region, offset, buf, 1)?)
     }
@@ -344,10 +356,8 @@ impl NvmHeap {
         concurrency: usize,
     ) -> Result<SimDuration, HeapError> {
         let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;
-        let ext = chunk.versions[slot as usize].ok_or(HeapError::MissingVersion {
-            chunk: id,
-            slot,
-        })?;
+        let ext =
+            chunk.versions[slot as usize].ok_or(HeapError::MissingVersion { chunk: id, slot })?;
         let cost = match self.materialization {
             Materialization::Bytes => {
                 let data = self.dram.snapshot(chunk.dram_region)?;
@@ -366,24 +376,18 @@ impl NvmHeap {
     /// domain (done before marking a checkpoint committed).
     pub fn flush_version(&self, id: ChunkId, slot: u8) -> Result<SimDuration, HeapError> {
         let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;
-        let ext = chunk.versions[slot as usize].ok_or(HeapError::MissingVersion {
-            chunk: id,
-            slot,
-        })?;
+        let ext =
+            chunk.versions[slot as usize].ok_or(HeapError::MissingVersion { chunk: id, slot })?;
         Ok(self.nvm.flush(self.container, ext.len)?)
     }
 
     /// Read the bytes of a version slot (restart / checksum paths).
     pub fn read_version(&self, id: ChunkId, slot: u8) -> Result<(Vec<u8>, SimDuration), HeapError> {
         let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;
-        let ext = chunk.versions[slot as usize].ok_or(HeapError::MissingVersion {
-            chunk: id,
-            slot,
-        })?;
+        let ext =
+            chunk.versions[slot as usize].ok_or(HeapError::MissingVersion { chunk: id, slot })?;
         let mut buf = vec![0u8; chunk.len];
-        let cost = self
-            .nvm
-            .read(self.container, ext.offset, &mut buf, 1)?;
+        let cost = self.nvm.read(self.container, ext.offset, &mut buf, 1)?;
         Ok((buf, cost))
     }
 
@@ -402,13 +406,13 @@ impl NvmHeap {
             }
             Materialization::Synthetic => {
                 let ext = chunk.versions[slot as usize].expect("committed slot exists");
-                let read_cost = self
-                    .nvm
-                    .read_synthetic(self.container, ext.offset, chunk.len, 1)?;
+                let read_cost =
+                    self.nvm
+                        .read_synthetic(self.container, ext.offset, chunk.len, 1)?;
                 let chunk = self.chunks.get(&id).expect("checked above");
-                let write_cost =
-                    self.dram
-                        .write_synthetic(chunk.dram_region, 0, chunk.len, 1)?;
+                let write_cost = self
+                    .dram
+                    .write_synthetic(chunk.dram_region, 0, chunk.len, 1)?;
                 Ok(read_cost + write_cost)
             }
         }
@@ -504,9 +508,10 @@ impl NvmHeap {
         materialization: Materialization,
         versioning: Versioning,
     ) -> Result<Self, HeapError> {
-        let container = RegionId(meta.container_region.ok_or({
-            HeapError::Device(DeviceError::NoSuchRegion(u64::MAX))
-        })?);
+        let container = RegionId(
+            meta.container_region
+                .ok_or(HeapError::Device(DeviceError::NoSuchRegion(u64::MAX)))?,
+        );
         // Verify the container still exists on the device.
         let cap = nvm.region_len(container)?;
         debug_assert_eq!(cap, meta.container_capacity);
@@ -562,7 +567,6 @@ impl NvmHeap {
         })
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -679,9 +683,15 @@ mod tests {
     #[test]
     fn out_of_nvm_rolls_back_cleanly() {
         let (dram, nvm) = devices();
-        let mut h =
-            NvmHeap::new(1, &dram, &nvm, 3 * MB, Versioning::Double, Materialization::Bytes)
-                .unwrap();
+        let mut h = NvmHeap::new(
+            1,
+            &dram,
+            &nvm,
+            3 * MB,
+            Versioning::Double,
+            Materialization::Bytes,
+        )
+        .unwrap();
         // Needs 2*2MB = 4MB > 3MB container.
         let err = h.nvmalloc("big", 2 * MB, true).unwrap_err();
         assert!(matches!(err, HeapError::OutOfNvm { .. }));
@@ -707,9 +717,15 @@ mod tests {
     #[test]
     fn metadata_export_reopen_roundtrip() {
         let (dram, nvm) = devices();
-        let mut h =
-            NvmHeap::new(42, &dram, &nvm, 32 * MB, Versioning::Double, Materialization::Bytes)
-                .unwrap();
+        let mut h = NvmHeap::new(
+            42,
+            &dram,
+            &nvm,
+            32 * MB,
+            Versioning::Double,
+            Materialization::Bytes,
+        )
+        .unwrap();
         let a = h.nvmalloc("alpha", 4096, true).unwrap();
         let _scratch = h.nvmalloc("tmp", 4096, false).unwrap();
         let b = h.nvmalloc("beta", 8192, true).unwrap();

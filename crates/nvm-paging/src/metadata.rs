@@ -151,9 +151,9 @@ impl MetadataRegion {
     }
 
     fn write_payload(&self, payload: &[u8]) -> Result<SimDuration, DeviceError> {
-        let mut cost = self
-            .device
-            .write(self.region, 0, &(payload.len() as u64).to_le_bytes(), 1)?;
+        let mut cost =
+            self.device
+                .write(self.region, 0, &(payload.len() as u64).to_le_bytes(), 1)?;
         cost += self.device.write(self.region, HEADER, payload, 1)?;
         cost += self.device.flush(self.region, HEADER + payload.len())?;
         Ok(cost)
@@ -176,8 +176,8 @@ impl MetadataRegion {
         }
         let mut payload = vec![0u8; len];
         cost += self.device.read(self.region, HEADER, &mut payload, 1)?;
-        let meta = serde_json::from_slice(&payload)
-            .map_err(|e| MetadataError::Corrupt(e.to_string()))?;
+        let meta =
+            serde_json::from_slice(&payload).map_err(|e| MetadataError::Corrupt(e.to_string()))?;
         Ok((meta, cost))
     }
 }

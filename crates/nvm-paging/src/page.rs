@@ -278,7 +278,7 @@ mod tests {
         assert_eq!(m.dirty_pages(), 2);
         assert_eq!(m.nvdirty_pages(), 2);
         assert_eq!(m.protected_pages(), 2); // pages 0 and 3 still protected
-        // second write to same range: no protection left, no faults
+                                            // second write to same range: no protection left, no faults
         assert_eq!(m.mark_written(1, 2), 0);
     }
 

@@ -164,8 +164,7 @@ mod tests {
             let bytes = mb * MB;
             let mut mem = MemorySink::new();
             let mut rd = RamdiskSink::new();
-            let gap =
-                rd.checkpoint(bytes).as_secs_f64() - mem.checkpoint(bytes).as_secs_f64();
+            let gap = rd.checkpoint(bytes).as_secs_f64() - mem.checkpoint(bytes).as_secs_f64();
             assert!(gap > prev_gap, "gap must widen: {gap} at {mb} MB");
             prev_gap = gap;
         }

@@ -138,7 +138,12 @@ impl RemoteStore {
     /// business).
     ///
     /// [`Link`]: crate::link::Link
-    pub fn put(&mut self, rank: u64, chunk: ChunkId, data: &[u8]) -> Result<SimDuration, RemoteError> {
+    pub fn put(
+        &mut self,
+        rank: u64,
+        chunk: ChunkId,
+        data: &[u8],
+    ) -> Result<SimDuration, RemoteError> {
         let key = (rank, chunk);
         self.ensure_entry(key, data.len())?;
         let slot = self.staging_slot(key);
@@ -196,7 +201,10 @@ impl RemoteStore {
     /// Verifies the checksum recorded at put time.
     pub fn fetch(&self, rank: u64, chunk: ChunkId) -> Result<(Vec<u8>, SimDuration), RemoteError> {
         let key = (rank, chunk);
-        let entry = self.entries.get(&key).ok_or(RemoteError::NoSuchEntry(key))?;
+        let entry = self
+            .entries
+            .get(&key)
+            .ok_or(RemoteError::NoSuchEntry(key))?;
         let slot = entry.committed.ok_or(RemoteError::NothingCommitted(key))?;
         let region = entry.slots[slot as usize].expect("committed slot allocated");
         let mut buf = vec![0u8; entry.len];

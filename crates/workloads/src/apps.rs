@@ -13,7 +13,9 @@
 //! * **CM1** — mostly sub-megabyte and mid-size chunks rewritten each
 //!   iteration; with so few >100 MB chunks, pre-copy buys <5%.
 
-use crate::chunks::{default_count, generate_profile_scaled, ChunkDistribution, ChunkSpec, SizeBucket};
+use crate::chunks::{
+    default_count, generate_profile_scaled, ChunkDistribution, ChunkSpec, SizeBucket,
+};
 use cluster_sim::{CommPattern, Workload};
 use nvm_chkpt::{CheckpointEngine, EngineError};
 use nvm_emu::SimDuration;
@@ -139,11 +141,7 @@ impl SyntheticApp {
         );
         // The hot 3-D result array: the largest chunk, modified three
         // times per iteration, last time at the iteration end.
-        if let Some(hot) = app
-            .chunks
-            .iter_mut()
-            .max_by_key(|c| c.spec.bytes)
-        {
+        if let Some(hot) = app.chunks.iter_mut().max_by_key(|c| c.spec.bytes) {
             hot.pattern = ModPattern::Hot { writes: 3 };
         }
         // A couple of small per-run constant tables.

@@ -277,9 +277,7 @@ pub fn measured_byte_share(specs: &[ChunkSpec]) -> ChunkDistribution {
 /// profile — used by the Table-IV regeneration bench and tests.
 pub fn measured_distribution(specs: &[ChunkSpec]) -> ChunkDistribution {
     let n = specs.len().max(1) as f64;
-    let pct = |b: SizeBucket| {
-        100.0 * specs.iter().filter(|s| s.bucket == b).count() as f64 / n
-    };
+    let pct = |b: SizeBucket| 100.0 * specs.iter().filter(|s| s.bucket == b).count() as f64 / n;
     ChunkDistribution {
         small: pct(SizeBucket::Small),
         mid: pct(SizeBucket::Mid),

@@ -24,6 +24,8 @@ pub mod madbench;
 pub mod memprobe;
 
 pub use apps::{ModPattern, SyntheticApp};
-pub use chunks::{generate_profile, measured_distribution, ChunkDistribution, ChunkSpec, SizeBucket};
+pub use chunks::{
+    generate_profile, measured_distribution, ChunkDistribution, ChunkSpec, SizeBucket,
+};
 pub use madbench::{run_madbench, CheckpointSink, MadBenchConfig, MadBenchResult};
 pub use memprobe::{measure_parallel_memcpy, model_curve, MemcpyPoint};

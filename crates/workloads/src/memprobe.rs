@@ -97,7 +97,9 @@ mod tests {
         let curve = model_curve(&BandwidthModel::lanl_dram(), 12, 33 << 20);
         assert_eq!(curve.len(), 12);
         // Monotone decline per core; 67% reduction at n=12.
-        assert!(curve.windows(2).all(|w| w[1].per_core_bw < w[0].per_core_bw));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[1].per_core_bw < w[0].per_core_bw));
         let ratio = curve[11].per_core_bw / curve[0].per_core_bw;
         assert!((ratio - 0.33).abs() < 0.01);
     }

@@ -23,7 +23,10 @@ fn main() {
         let zion = CString::new("zion").unwrap(); // GTC's main particle array
         let id = nvalloc(ctx, zion.as_ptr(), 1 << 20, /* persistent */ 1);
         assert_ne!(id, 0);
-        println!("nvalloc(\"zion\") -> id {id:#x} (== genid: {})", id == nv_genid(zion.as_ptr()));
+        println!(
+            "nvalloc(\"zion\") -> id {id:#x} (== genid: {})",
+            id == nv_genid(zion.as_ptr())
+        );
 
         // Compute loop with checkpoints.
         let step_data = |s: u8| vec![s; 1 << 20];

@@ -40,12 +40,30 @@ fn main() {
     println!("GTC multilevel checkpointing on 2x4 ranks");
     println!("  ideal time (no ckpt, no failures): {}", ideal.total_time);
     println!("  actual time:                       {}", result.total_time);
-    println!("  efficiency:                        {:.3}", result.efficiency_vs(&ideal));
-    println!("  local checkpoints:                 {}", result.local_checkpoints);
-    println!("  remote checkpoints:                {}", result.remote_checkpoints);
-    println!("  soft failures recovered locally:   {}", result.soft_failures);
-    println!("  hard failures (remote recovery):   {}", result.hard_failures);
-    println!("  iterations redone after failures:  {}", result.lost_iterations);
+    println!(
+        "  efficiency:                        {:.3}",
+        result.efficiency_vs(&ideal)
+    );
+    println!(
+        "  local checkpoints:                 {}",
+        result.local_checkpoints
+    );
+    println!(
+        "  remote checkpoints:                {}",
+        result.remote_checkpoints
+    );
+    println!(
+        "  soft failures recovered locally:   {}",
+        result.soft_failures
+    );
+    println!(
+        "  hard failures (remote recovery):   {}",
+        result.hard_failures
+    );
+    println!(
+        "  iterations redone after failures:  {}",
+        result.lost_iterations
+    );
     println!(
         "  data: {} MB/rank checkpoint set, {:.0} MB pre-copied, {:.0} MB at coordinated steps, {:.0} MB skipped as unmodified",
         result.checkpoint_bytes_per_rank >> 20,
@@ -59,5 +77,8 @@ fn main() {
         result.helper_utilization[0] * 100.0,
     );
     let seq = result.schedule.sequence();
-    println!("  rank-0 schedule (first 12 activities): {:?}", &seq[..seq.len().min(12)]);
+    println!(
+        "  rank-0 schedule (first 12 activities): {:?}",
+        &seq[..seq.len().min(12)]
+    );
 }

@@ -31,12 +31,19 @@ fn main() {
     let pressure = engine.nv2dalloc("pressure", 512, 256, 8, true).unwrap();
     let scratch = engine.nvmalloc("scratch", 1 << 20, false).unwrap(); // not checkpointed
 
-    println!("allocated 3 chunks; checkpoint set = {} bytes", engine.checkpoint_bytes());
+    println!(
+        "allocated 3 chunks; checkpoint set = {} bytes",
+        engine.checkpoint_bytes()
+    );
 
     // A few compute iterations with checkpoints.
     for step in 0u8..3 {
-        engine.write(temperature, 0, &vec![step + 1; 1 << 20]).unwrap();
-        engine.write(pressure, 0, &vec![step + 10; 512 * 256 * 8]).unwrap();
+        engine
+            .write(temperature, 0, &vec![step + 1; 1 << 20])
+            .unwrap();
+        engine
+            .write(pressure, 0, &vec![step + 10; 512 * 256 * 8])
+            .unwrap();
         engine.write(scratch, 0, &[0xEE; 4096]).unwrap();
         engine.compute(SimDuration::from_secs(5));
         let report = engine.nvchkptall().unwrap();
@@ -69,7 +76,10 @@ fn main() {
     // uncheckpointed 0xFF overwrite.
     let mut buf = vec![0u8; 1 << 20];
     engine.read(temperature, 0, &mut buf).unwrap();
-    assert!(buf.iter().all(|&b| b == 3), "temperature restored to step 3");
+    assert!(
+        buf.iter().all(|&b| b == 3),
+        "temperature restored to step 3"
+    );
     engine.read(pressure, 0, &mut buf).unwrap();
     assert!(buf.iter().all(|&b| b == 12), "pressure restored to step 3");
     println!("verified: committed state restored, uncheckpointed writes discarded");

@@ -22,7 +22,10 @@ fn run(precopy: bool) -> RunResult {
         PrecopyPolicy::None
     });
     cfg.local_interval = Some(SimDuration::from_secs(40));
-    cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(80), precopy));
+    cfg.remote = Some(RemoteConfig::infiniband(
+        SimDuration::from_secs(80),
+        precopy,
+    ));
     cfg.iterations = 24;
     let factory = |_rank: u64| -> Box<dyn Workload> {
         Box::new(SyntheticApp::lammps().with_compute(SimDuration::from_secs(10)))

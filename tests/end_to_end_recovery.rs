@@ -23,14 +23,18 @@ impl Node {
 }
 
 fn fill(engine: &mut CheckpointEngine, id: nvm_chkpt::ChunkId, seed: u8, len: usize) {
-    let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect();
+    let data: Vec<u8> = (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect();
     engine.write(id, 0, &data).unwrap();
 }
 
 fn expect(engine: &mut CheckpointEngine, id: nvm_chkpt::ChunkId, seed: u8, len: usize) {
     let mut buf = vec![0u8; len];
     engine.read(id, 0, &mut buf).unwrap();
-    let want: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect();
+    let want: Vec<u8> = (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect();
     assert_eq!(buf, want, "chunk {id:?} content mismatch for seed {seed}");
 }
 
@@ -61,9 +65,14 @@ fn soft_failure_restarts_from_local_nvm() {
     let region = engine.metadata_region();
     drop(engine);
 
-    let (mut engine, report) =
-        CheckpointEngine::restart(&node.dram, &node.nvm, region, clock, EngineConfig::default())
-            .unwrap();
+    let (mut engine, report) = CheckpointEngine::restart(
+        &node.dram,
+        &node.nvm,
+        region,
+        clock,
+        EngineConfig::default(),
+    )
+    .unwrap();
     assert_eq!(report.restored.len(), 2);
     assert!(report.corrupt.is_empty());
     expect(&mut engine, a, 2, MB);
@@ -144,9 +153,14 @@ fn corruption_falls_back_to_remote_copy() {
     let region = engine.metadata_region();
     drop(engine);
 
-    let (mut engine, report) =
-        CheckpointEngine::restart(&node.dram, &node.nvm, region, clock, EngineConfig::default())
-            .unwrap();
+    let (mut engine, report) = CheckpointEngine::restart(
+        &node.dram,
+        &node.nvm,
+        region,
+        clock,
+        EngineConfig::default(),
+    )
+    .unwrap();
     assert_eq!(report.corrupt.len(), 2, "both chunks must fail checksums");
     for &id in &report.corrupt {
         let (data, _) = remote.fetch(3, id).unwrap();
@@ -165,8 +179,7 @@ fn hard_failure_rebuilds_entirely_from_remote() {
     let mut remote = RemoteStore::new(&buddy.nvm, true);
 
     // Original process life.
-    let (names, seeds): (Vec<&str>, Vec<u8>) =
-        (vec!["ions", "fields", "moments"], vec![7, 8, 9]);
+    let (names, seeds): (Vec<&str>, Vec<u8>) = (vec!["ions", "fields", "moments"], vec![7, 8, 9]);
     {
         let mut engine = CheckpointEngine::new(
             0,
@@ -233,9 +246,14 @@ fn restart_of_never_checkpointed_process_reports_it() {
     let region = engine.metadata_region();
     drop(engine); // crash before any checkpoint
 
-    let (engine, report) =
-        CheckpointEngine::restart(&node.dram, &node.nvm, region, clock, EngineConfig::default())
-            .unwrap();
+    let (engine, report) = CheckpointEngine::restart(
+        &node.dram,
+        &node.nvm,
+        region,
+        clock,
+        EngineConfig::default(),
+    )
+    .unwrap();
     assert_eq!(report.never_committed, vec![a]);
     assert!(report.restored.is_empty());
     assert!(matches!(

@@ -17,8 +17,15 @@ fn engine_on(
     clock: &VirtualClock,
     pid: u64,
 ) -> CheckpointEngine {
-    CheckpointEngine::new(pid, dram, nvm, 64 * MB, clock.clone(), EngineConfig::default())
-        .unwrap()
+    CheckpointEngine::new(
+        pid,
+        dram,
+        nvm,
+        64 * MB,
+        clock.clone(),
+        EngineConfig::default(),
+    )
+    .unwrap()
 }
 
 #[test]

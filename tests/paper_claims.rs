@@ -151,7 +151,10 @@ fn claim_remote_precopy_cuts_peak_and_runtime() {
         c.container_bytes = 940 << 20;
         c.engine = c.engine.with_precopy(policy);
         c.local_interval = Some(SimDuration::from_secs(40));
-        c.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(80), precopy));
+        c.remote = Some(RemoteConfig::infiniband(
+            SimDuration::from_secs(80),
+            precopy,
+        ));
         c.iterations = 16;
         c
     };
@@ -189,7 +192,10 @@ fn claim_helper_utilization_doubles_but_stays_small() {
     burst_cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(20), false));
 
     let pre = ClusterSim::new(pre_cfg, app("gtc")).unwrap().run().unwrap();
-    let burst = ClusterSim::new(burst_cfg, app("gtc")).unwrap().run().unwrap();
+    let burst = ClusterSim::new(burst_cfg, app("gtc"))
+        .unwrap()
+        .run()
+        .unwrap();
     let u_pre = pre.helper_utilization[0];
     let u_burst = burst.helper_utilization[0];
     assert!(u_pre > u_burst, "{u_pre} vs {u_burst}");

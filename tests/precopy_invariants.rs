@@ -6,9 +6,7 @@
 //! demand identical committed content — plus crash-safety and
 //! dirty-tracking invariants.
 
-use nvm_chkpt::{
-    CheckpointEngine, ChunkId, EngineConfig, PrecopyPolicy, Versioning,
-};
+use nvm_chkpt::{CheckpointEngine, ChunkId, EngineConfig, PrecopyPolicy, Versioning};
 use nvm_emu::{MemoryDevice, SimDuration, VirtualClock};
 use proptest::prelude::*;
 

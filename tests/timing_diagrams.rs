@@ -46,7 +46,9 @@ fn figure1_compute_and_local_checkpoints_alternate() {
         .count();
     assert!(cl_pairs >= 3, "expected repeated C->L transitions: {seq:?}");
     // Local checkpoints are coordinated: they never overlap compute.
-    assert!(!r.schedule.overlaps(Activity::Compute, Activity::LocalCheckpoint));
+    assert!(!r
+        .schedule
+        .overlaps(Activity::Compute, Activity::LocalCheckpoint));
 }
 
 #[test]

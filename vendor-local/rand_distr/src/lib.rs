@@ -1,0 +1,109 @@
+//! Offline shim for the subset of `rand_distr` this workspace uses.
+
+use rand::RngCore;
+use std::fmt;
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits of one draw.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A distribution samplable with any [`RngCore`].
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`),
+/// sampled by inversion.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u is in [0, 1); 1 - u is in (0, 1], so ln() is finite and
+        // the sample is non-negative.
+        let u = unit_f64(rng);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    pub fn new(low: f64, high: f64) -> Result<Self, ParamError> {
+        if low < high && low.is_finite() && high.is_finite() {
+            Ok(Uniform { low, high })
+        } else {
+            Err(ParamError("Uniform requires finite low < high"))
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + unit_f64(rng) * (self.high - self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_close_to_inverse_rate() {
+        let exp = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_rejects_bad_rates() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let u = Uniform::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Hand-rolled `Serialize`/`Deserialize` derive macros.
+//!
+//! The real `serde_derive` leans on `syn`/`quote`; this offline shim
+//! parses the item's `TokenStream` directly, which is enough for the
+//! plain (attribute-free, non-generic) structs and enums this
+//! workspace derives on. Generated code targets the value-tree model
+//! of the sibling `serde` shim:
+//!
+//! * named struct      -> object with fields in declaration order
+//! * newtype struct    -> the inner value, transparently
+//! * tuple struct      -> array
+//! * unit enum variant -> `"VariantName"`
+//! * data variant      -> `{"VariantName": ...}` (externally tagged)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes of items we can derive on.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip `#[...]` attribute pairs starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a field/variant list on top-level commas (commas inside
+/// `<...>` or any delimited group do not count).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract named-field names from the brace group of a struct or
+/// struct variant.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(group_tokens)
+        .into_iter()
+        .filter_map(|field| {
+            let i = skip_vis(&field, skip_attrs(&field, 0));
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level(&body).len(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive shim: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => panic!("serde_derive shim: expected enum body for {name}: {other:?}"),
+            };
+            let variants = split_top_level(&body)
+                .into_iter()
+                .map(|var| {
+                    let j = skip_attrs(&var, 0);
+                    let vname = match var.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive shim: bad variant in {name}: {other:?}"),
+                    };
+                    // Next token (if any): payload group, or `=` for an
+                    // explicit discriminant (payload-less either way).
+                    let kind = match var.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Struct(parse_named_fields(&body))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Tuple(split_top_level(&body).len())
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    Variant { name: vname, kind }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: cannot derive on `{other}` items"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(obj)\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Array(vec![{items}]) }}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds = (0..*arity)
+                            .map(|i| format!("x{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*arity)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{items}]))]),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Object(vec![{pushes}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(obj, \"{f}\"))\
+                         .map_err(|e| ::serde::DeError::custom(format!(\
+                         \"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}\n}})\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+             }}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let items = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {arity} {{ return Err(::serde::DeError::custom(\
+                 \"wrong arity for {name}\")); }}\n\
+                 Ok({name}({inits}))\n\
+                 }}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             Ok({name})\n\
+             }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let inits = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if items.len() != {arity} {{ return Err(::serde::DeError::custom(\
+                             \"wrong arity for {name}::{vn}\")); }}\n\
+                             return Ok({name}::{vn}({inits}));\n}}\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::field(fields, \"{f}\"))?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let fields = payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             return Ok({name}::{vn} {{ {inits} }});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if let Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 if let Some(fields) = v.as_object() {{\n\
+                 if fields.len() == 1 {{\n\
+                 let (tag, payload) = (&fields[0].0, &fields[0].1);\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 }}\n\
+                 Err(::serde::DeError::custom(\"unrecognized {name} value\"))\n\
+                 }}\n}}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
