@@ -76,9 +76,11 @@ fn bench_engine_cycle(c: &mut Criterion) {
             };
             let dram = MemoryDevice::dram(scale * 16 * MB);
             let nvm = MemoryDevice::pcm(scale * 16 * MB);
-            let cfg = EngineConfig::default()
-                .with_materialization(mat)
-                .with_checksums(mat == Materialization::Bytes);
+            let cfg = EngineConfig::builder()
+                .materialization(mat)
+                .checksums(mat == Materialization::Bytes)
+                .build()
+                .unwrap();
             let mut e =
                 CheckpointEngine::new(0, &dram, &nvm, scale * 12 * MB, VirtualClock::new(), cfg)
                     .unwrap();

@@ -1,15 +1,20 @@
 //! Run every experiment in sequence and emit all tables + JSON.
 //! `--quick` runs the reduced presets (CI-friendly); `--threads N`
 //! runs cluster simulations on N rank-execution worker threads
-//! (results are bit-identical at any thread count).
+//! (results are bit-identical at any thread count); `--trace PATH`
+//! additionally runs a traced GTC simulation and writes its event
+//! stream to PATH (`.jsonl` for line-delimited JSON, anything else for
+//! Chrome `trace_event` JSON viewable in chrome://tracing or
+//! Perfetto).
 use nvm_bench::experiments::*;
 use nvm_bench::report::write_json;
-use nvm_bench::scale::{threads_from, Scale};
+use nvm_bench::scale::{threads_from, trace_from, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let threads = threads_from(&args);
+    let trace_path = trace_from(&args);
     let scale = if quick {
         Scale::quick()
     } else {
@@ -131,6 +136,17 @@ fn main() {
     write_json("ext_redundancy", &redundancy);
     write_json("ext_wear_leveling", &wear);
     write_json("ext_energy", &energy);
+
+    if let Some(path) = trace_path {
+        let (events, summary) = tracing::run(&scale);
+        match tracing::export(&events, &path) {
+            Ok(()) => {
+                tracing::render(&summary, &path).print();
+                write_json("trace_summary", &summary);
+            }
+            Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+    }
 
     println!("\nJSON written to experiments/ at the workspace root.");
 }

@@ -113,10 +113,12 @@ pub fn run_versioning(scale: &Scale) -> Vec<VersioningRow> {
             let dram = MemoryDevice::dram(2 << 30);
             let nvm = MemoryDevice::pcm(4 << 30);
             let clock = VirtualClock::new();
-            let cfg = EngineConfig::default()
-                .with_materialization(Materialization::Synthetic)
-                .with_checksums(false)
-                .with_versioning(v);
+            let cfg = EngineConfig::builder()
+                .materialization(Materialization::Synthetic)
+                .checksums(false)
+                .versioning(v)
+                .build()
+                .expect("valid versioning-ablation config");
             let mut engine =
                 CheckpointEngine::new(0, &dram, &nvm, scale.container_bytes(), clock, cfg)
                     .expect("engine");

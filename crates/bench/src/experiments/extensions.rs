@@ -35,9 +35,11 @@ pub fn run_restart() -> Vec<RestartRow> {
         let dram = MemoryDevice::dram(512 * MB);
         let nvm = MemoryDevice::pcm(512 * MB);
         let clock = VirtualClock::new();
-        let cfg = EngineConfig::default()
-            .with_checksums(false)
-            .with_materialization(nvm_chkpt::Materialization::Synthetic);
+        let cfg = EngineConfig::builder()
+            .checksums(false)
+            .materialization(nvm_chkpt::Materialization::Synthetic)
+            .build()
+            .expect("valid restart-bench config");
         let mut e = CheckpointEngine::new(0, &dram, &nvm, 300 * MB, clock.clone(), cfg).unwrap();
         let mut ids = Vec::new();
         for i in 0..16 {
@@ -284,10 +286,12 @@ pub fn run_energy() -> Vec<EnergyRow> {
     .map(|&policy| {
         let dram = MemoryDevice::dram(512 * MB);
         let nvm = MemoryDevice::pcm(512 * MB);
-        let cfg = EngineConfig::default()
-            .with_checksums(false)
-            .with_materialization(nvm_chkpt::Materialization::Synthetic)
-            .with_precopy(policy);
+        let cfg = EngineConfig::builder()
+            .checksums(false)
+            .materialization(nvm_chkpt::Materialization::Synthetic)
+            .precopy(policy)
+            .build()
+            .expect("valid prediction-bench config");
         let mut e =
             CheckpointEngine::new(0, &dram, &nvm, 200 * MB, VirtualClock::new(), cfg).unwrap();
         // One steady chunk plus one hot chunk rewritten 3x/iteration.

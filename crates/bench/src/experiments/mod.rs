@@ -16,6 +16,7 @@ pub mod scaling;
 pub mod table1;
 pub mod table4;
 pub mod table5;
+pub mod tracing;
 
 use crate::scale::Scale;
 use cluster_sim::{ClusterConfig, Workload};

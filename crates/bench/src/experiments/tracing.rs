@@ -1,0 +1,82 @@
+//! Traced cluster run (`run_all --trace <path>`).
+//!
+//! Runs a GTC cluster simulation with remote pre-copy and event
+//! tracing enabled, exports the merged event stream (JSONL when the
+//! path ends in `.jsonl`, Chrome `trace_event` JSON otherwise — the
+//! latter loads directly in `chrome://tracing` or Perfetto), and
+//! reports a compact per-kind summary table.
+
+use crate::experiments::{cluster_config, make_app};
+use crate::report::Table;
+use crate::scale::Scale;
+use cluster_sim::{ClusterSim, RemoteConfig};
+use nvm_chkpt::PrecopyPolicy;
+use nvm_trace::{summarize, to_chrome_trace, to_jsonl, TraceEvent, TraceSummary};
+
+/// Run the traced simulation and return the merged event stream with
+/// its summary.
+pub fn run(scale: &Scale) -> (Vec<TraceEvent>, TraceSummary) {
+    let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp).with_trace(true);
+    cfg.remote = Some(RemoteConfig::infiniband(scale.local_interval * 2, true));
+    let r = ClusterSim::new(cfg, |_| make_app("gtc", scale))
+        .expect("traced sim")
+        .run()
+        .expect("traced run");
+    let summary = summarize(&r.trace);
+    (r.trace, summary)
+}
+
+/// Write the event stream to `path` in the format its extension
+/// selects.
+pub fn export(events: &[TraceEvent], path: &str) -> std::io::Result<()> {
+    let body = if path.ends_with(".jsonl") {
+        to_jsonl(events)
+    } else {
+        to_chrome_trace(events)
+    };
+    std::fs::write(path, body)
+}
+
+/// Render the summary as a table.
+pub fn render(summary: &TraceSummary, path: &str) -> Table {
+    let mut t = Table::new(
+        &format!("Trace — GTC with DCPCP + remote pre-copy (written to {path})"),
+        &[
+            "Events",
+            "Faults",
+            "Pre-copy drains",
+            "Wasted pre-copies",
+            "Coordinated ckpts",
+            "Commit flips",
+            "Remote transfers",
+            "Remote MB",
+        ],
+    );
+    t.row(vec![
+        summary.events.to_string(),
+        summary.faults.to_string(),
+        summary.precopy_drains.to_string(),
+        summary.precopy_wastes.to_string(),
+        summary.coordinated.to_string(),
+        summary.commit_flips.to_string(),
+        summary.remote_transfers.to_string(),
+        format!("{:.1}", summary.remote_bytes as f64 / (1 << 20) as f64),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trace_run_yields_events() {
+        let (events, summary) = run(&Scale::quick());
+        assert!(!events.is_empty());
+        assert_eq!(summary.events, events.len() as u64);
+        assert!(summary.coordinated > 0, "{summary:?}");
+        assert!(summary.commit_flips > 0, "{summary:?}");
+        let table = render(&summary, "trace.json");
+        assert_eq!(table.len(), 1);
+    }
+}

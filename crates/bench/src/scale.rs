@@ -120,6 +120,28 @@ pub fn threads_from(args: &[String]) -> usize {
     threads.max(1)
 }
 
+/// Parse `--trace PATH` / `--trace=PATH` out of an argument list
+/// (`None` when absent). The path's extension picks the export format:
+/// `.jsonl` for line-delimited JSON, anything else for Chrome
+/// `trace_event` JSON.
+pub fn trace_from(args: &[String]) -> Option<String> {
+    let mut path = None;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--trace" {
+            if let Some(p) = args.get(i + 1) {
+                if !p.starts_with("--") {
+                    path = Some(p.clone());
+                }
+            }
+        } else if let Some(p) = arg.strip_prefix("--trace=") {
+            if !p.is_empty() {
+                path = Some(p.to_string());
+            }
+        }
+    }
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +170,22 @@ mod tests {
         );
         assert_eq!(threads_from(&to_args(&["bin", "--threads", "zero"])), 1);
         assert_eq!(threads_from(&to_args(&["bin", "--threads", "0"])), 1);
+    }
+
+    #[test]
+    fn trace_arg_parsing() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(trace_from(&to_args(&["bin"])), None);
+        assert_eq!(
+            trace_from(&to_args(&["bin", "--trace", "out.json"])),
+            Some("out.json".to_string())
+        );
+        assert_eq!(
+            trace_from(&to_args(&["bin", "--trace=t.jsonl", "--quick"])),
+            Some("t.jsonl".to_string())
+        );
+        // A following flag is not a path.
+        assert_eq!(trace_from(&to_args(&["bin", "--trace", "--quick"])), None);
+        assert_eq!(trace_from(&to_args(&["bin", "--trace="])), None);
     }
 }

@@ -29,6 +29,30 @@ fn set_error(msg: impl ToString) {
     LAST_ERROR.with(|e| *e.borrow_mut() = msg.to_string());
 }
 
+/// Collapse a `Result` into the C status convention: `0` on success,
+/// `-1` with the error recorded for [`nvm_last_error`] otherwise.
+fn status<T>(res: Result<T, impl ToString>) -> i32 {
+    match res {
+        Ok(_) => 0,
+        Err(e) => {
+            set_error(e);
+            -1
+        }
+    }
+}
+
+/// Collapse a `Result<ChunkId>` into the C id convention: the raw id
+/// on success, `0` with the error recorded otherwise.
+fn id_status(res: Result<ChunkId, impl ToString>) -> u64 {
+    match res {
+        Ok(id) => id.0,
+        Err(e) => {
+            set_error(e);
+            0
+        }
+    }
+}
+
 /// Opaque context: one emulated node + one checkpoint engine.
 pub struct NvmCtx {
     dram: MemoryDevice,
@@ -162,13 +186,7 @@ pub unsafe extern "C" fn nvalloc(
     let (Some(c), Some(n)) = (ctx_mut(ctx), name_str(name)) else {
         return 0;
     };
-    match c.engine.nvmalloc(n, size, pflg != 0) {
-        Ok(id) => id.0,
-        Err(e) => {
-            set_error(e);
-            0
-        }
-    }
+    id_status(c.engine.nvmalloc(n, size, pflg != 0))
 }
 
 /// `nv2dalloc(dim1, dim2)` — 2-D allocation wrapper (8-byte elements,
@@ -186,13 +204,7 @@ pub unsafe extern "C" fn nv2dalloc(
     let (Some(c), Some(n)) = (ctx_mut(ctx), name_str(name)) else {
         return 0;
     };
-    match c.engine.nv2dalloc(n, dim1, dim2, 8, true) {
-        Ok(id) => id.0,
-        Err(e) => {
-            set_error(e);
-            0
-        }
-    }
+    id_status(c.engine.nv2dalloc(n, dim1, dim2, 8, true))
 }
 
 /// Write `len` bytes at `offset` into a chunk's working copy.
@@ -213,13 +225,7 @@ pub unsafe extern "C" fn nvwrite(
         return -1;
     }
     let slice = std::slice::from_raw_parts(data, len);
-    match c.engine.write(ChunkId(id), offset, slice) {
-        Ok(()) => 0,
-        Err(e) => {
-            set_error(e);
-            -1
-        }
-    }
+    status(c.engine.write(ChunkId(id), offset, slice))
 }
 
 /// Read `len` bytes at `offset` from a chunk's working copy.
@@ -240,13 +246,7 @@ pub unsafe extern "C" fn nvread(
         return -1;
     }
     let slice = std::slice::from_raw_parts_mut(buf, len);
-    match c.engine.read(ChunkId(id), offset, slice) {
-        Ok(()) => 0,
-        Err(e) => {
-            set_error(e);
-            -1
-        }
-    }
+    status(c.engine.read(ChunkId(id), offset, slice))
 }
 
 /// Model a compute phase of `seconds` of virtual time (background
@@ -272,13 +272,7 @@ pub unsafe extern "C" fn nvcompute(ctx: *mut NvmCtx, seconds: f64) -> i32 {
 #[no_mangle]
 pub unsafe extern "C" fn nvchkptall(ctx: *mut NvmCtx) -> i32 {
     let Some(c) = ctx_mut(ctx) else { return -1 };
-    match c.engine.nvchkptall() {
-        Ok(_) => 0,
-        Err(e) => {
-            set_error(e);
-            -1
-        }
-    }
+    status(c.engine.nvchkptall())
 }
 
 /// `nvchkptid(id)` — checkpoint one chunk.
@@ -288,13 +282,7 @@ pub unsafe extern "C" fn nvchkptall(ctx: *mut NvmCtx) -> i32 {
 #[no_mangle]
 pub unsafe extern "C" fn nvchkptid(ctx: *mut NvmCtx, id: u64) -> i32 {
     let Some(c) = ctx_mut(ctx) else { return -1 };
-    match c.engine.nvchkptid(ChunkId(id)) {
-        Ok(_) => 0,
-        Err(e) => {
-            set_error(e);
-            -1
-        }
-    }
+    status(c.engine.nvchkptid(ChunkId(id)))
 }
 
 /// `nvdelete(id)` — drop a chunk.
@@ -304,13 +292,7 @@ pub unsafe extern "C" fn nvchkptid(ctx: *mut NvmCtx, id: u64) -> i32 {
 #[no_mangle]
 pub unsafe extern "C" fn nvdelete(ctx: *mut NvmCtx, id: u64) -> i32 {
     let Some(c) = ctx_mut(ctx) else { return -1 };
-    match c.engine.nvdelete(ChunkId(id)) {
-        Ok(()) => 0,
-        Err(e) => {
-            set_error(e);
-            -1
-        }
-    }
+    status(c.engine.nvdelete(ChunkId(id)))
 }
 
 /// Simulate a process crash + restart on the same node: the context's

@@ -41,7 +41,47 @@ impl PrecopyPolicy {
     }
 }
 
+/// Rejected engine configurations (raised by
+/// [`EngineConfigBuilder::build`] and at engine construction, so an
+/// invalid combination fails before a run starts instead of mid-run).
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `node_concurrency` must be at least 1.
+    ZeroNodeConcurrency,
+    /// `precopy_interference` must be finite and within `[0, 1]`.
+    InvalidInterference(f64),
+    /// Checksums need real bytes: `checksums = true` is meaningless
+    /// with size-only (synthetic) payloads.
+    ChecksumsRequireBytes,
+    /// DCPCP's prediction table needs at least one warm-up epoch to
+    /// learn per-chunk modification counts before it can gate pre-copy.
+    PredictionNeedsWarmup,
+    /// The engine's NVM shadow container must not be empty.
+    ZeroShadowRegion,
+}
+
+nvm_emu::error_enum! {
+    ConfigError, f {
+        leaf ConfigError::ZeroNodeConcurrency =>
+            write!(f, "node_concurrency must be >= 1"),
+        leaf ConfigError::InvalidInterference(v) =>
+            write!(f, "precopy_interference must be finite in [0, 1], got {v}"),
+        leaf ConfigError::ChecksumsRequireBytes =>
+            write!(f, "checksums require byte-backed (non-synthetic) materialization"),
+        leaf ConfigError::PredictionNeedsWarmup =>
+            write!(f, "DCPCP needs warmup_epochs >= 1 for its prediction table"),
+        leaf ConfigError::ZeroShadowRegion =>
+            write!(f, "NVM shadow container capacity must be > 0"),
+    }
+}
+
 /// Full engine configuration.
+///
+/// Construct via [`EngineConfig::builder`] (validating) or start from
+/// [`EngineConfig::default`] and use the `with_*` setters. The engine
+/// re-validates at construction, so invalid combinations are caught
+/// even for hand-assembled structs.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Pre-copy scheme.
@@ -63,6 +103,11 @@ pub struct EngineConfig {
     /// pre-copy stream and the computation). 0 = free overlap,
     /// 1 = fully serialized.
     pub precopy_interference: f64,
+    /// Epochs the delayed pre-copy policies observe before the learned
+    /// threshold (and, for DCPCP, the prediction table) takes effect.
+    /// The paper's scheme "waits for the first checkpoint step to
+    /// complete", i.e. 1.
+    pub warmup_epochs: u64,
 }
 
 impl Default for EngineConfig {
@@ -75,11 +120,39 @@ impl Default for EngineConfig {
             materialization: Materialization::Bytes,
             node_concurrency: 1,
             precopy_interference: 0.25,
+            warmup_epochs: 1,
         }
     }
 }
 
 impl EngineConfig {
+    /// Validating builder, seeded with the default configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Check the configuration for invalid combinations. Called by
+    /// [`EngineConfigBuilder::build`] and by the engine constructor.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.node_concurrency == 0 {
+            return Err(ConfigError::ZeroNodeConcurrency);
+        }
+        if !self.precopy_interference.is_finite()
+            || !(0.0..=1.0).contains(&self.precopy_interference)
+        {
+            return Err(ConfigError::InvalidInterference(self.precopy_interference));
+        }
+        if self.checksums && self.materialization == Materialization::Synthetic {
+            return Err(ConfigError::ChecksumsRequireBytes);
+        }
+        if self.precopy.predictive() && self.warmup_epochs == 0 {
+            return Err(ConfigError::PredictionNeedsWarmup);
+        }
+        Ok(())
+    }
+
     /// The paper's "no pre-copy" baseline with otherwise default knobs.
     pub fn no_precopy() -> Self {
         EngineConfig {
@@ -123,6 +196,83 @@ impl EngineConfig {
         self.checksums = on;
         self
     }
+
+    /// Builder-style setter for the warm-up epoch count.
+    pub fn with_warmup_epochs(mut self, epochs: u64) -> Self {
+        self.warmup_epochs = epochs;
+        self
+    }
+}
+
+/// Validating builder for [`EngineConfig`].
+///
+/// Unlike the `with_*` setters (which keep legacy clamping behavior),
+/// the builder stores exactly what it is given and [`build`] rejects
+/// invalid combinations with a [`ConfigError`].
+///
+/// [`build`]: EngineConfigBuilder::build
+#[derive(Clone, Debug)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Set the pre-copy policy.
+    pub fn precopy(mut self, p: PrecopyPolicy) -> Self {
+        self.config.precopy = p;
+        self
+    }
+
+    /// Set the versioning scheme.
+    pub fn versioning(mut self, v: Versioning) -> Self {
+        self.config.versioning = v;
+        self
+    }
+
+    /// Set the protection granularity.
+    pub fn granularity(mut self, g: Granularity) -> Self {
+        self.config.granularity = g;
+        self
+    }
+
+    /// Enable or disable commit-time checksums.
+    pub fn checksums(mut self, on: bool) -> Self {
+        self.config.checksums = on;
+        self
+    }
+
+    /// Set byte-backed or size-only payloads. Disabling bytes also
+    /// requires disabling checksums (validated at [`build`]).
+    ///
+    /// [`build`]: EngineConfigBuilder::build
+    pub fn materialization(mut self, m: Materialization) -> Self {
+        self.config.materialization = m;
+        self
+    }
+
+    /// Set how many ranks share the node's NVM device.
+    pub fn node_concurrency(mut self, n: usize) -> Self {
+        self.config.node_concurrency = n;
+        self
+    }
+
+    /// Set the pre-copy interference fraction in `[0, 1]`.
+    pub fn precopy_interference(mut self, frac: f64) -> Self {
+        self.config.precopy_interference = frac;
+        self
+    }
+
+    /// Set the number of warm-up epochs for delayed pre-copy.
+    pub fn warmup_epochs(mut self, epochs: u64) -> Self {
+        self.config.warmup_epochs = epochs;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +288,67 @@ mod tests {
         assert!(!PrecopyPolicy::Dcpc.predictive());
         assert!(PrecopyPolicy::Dcpcp.delayed());
         assert!(PrecopyPolicy::Dcpcp.predictive());
+    }
+
+    #[test]
+    fn builder_accepts_valid_configs() {
+        let c = EngineConfig::builder()
+            .precopy(PrecopyPolicy::Cpc)
+            .materialization(Materialization::Synthetic)
+            .checksums(false)
+            .node_concurrency(12)
+            .precopy_interference(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.precopy, PrecopyPolicy::Cpc);
+        assert_eq!(c.node_concurrency, 12);
+        assert_eq!(c.precopy_interference, 0.5);
+        // Untouched knobs come from Default.
+        assert_eq!(c.versioning, EngineConfig::default().versioning);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(EngineConfig::builder().build().unwrap(), {
+            EngineConfig::default()
+        });
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        assert_eq!(
+            EngineConfig::builder().node_concurrency(0).build(),
+            Err(ConfigError::ZeroNodeConcurrency)
+        );
+        assert_eq!(
+            EngineConfig::builder().precopy_interference(1.5).build(),
+            Err(ConfigError::InvalidInterference(1.5))
+        );
+        assert!(matches!(
+            EngineConfig::builder()
+                .precopy_interference(f64::NAN)
+                .build(),
+            Err(ConfigError::InvalidInterference(_))
+        ));
+        assert_eq!(
+            EngineConfig::builder()
+                .materialization(Materialization::Synthetic)
+                .build(),
+            Err(ConfigError::ChecksumsRequireBytes)
+        );
+        assert_eq!(
+            EngineConfig::builder()
+                .precopy(PrecopyPolicy::Dcpcp)
+                .warmup_epochs(0)
+                .build(),
+            Err(ConfigError::PredictionNeedsWarmup)
+        );
+        // DCPC (non-predictive) tolerates zero warm-up.
+        assert!(EngineConfig::builder()
+            .precopy(PrecopyPolicy::Dcpc)
+            .warmup_epochs(0)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -24,9 +24,9 @@
 //! All operations charge a shared [`VirtualClock`].
 
 use crate::checksum::crc64;
-use crate::config::EngineConfig;
 #[cfg(test)]
 use crate::config::PrecopyPolicy;
+use crate::config::{ConfigError, EngineConfig};
 use crate::precopy::PrecopyPlanner;
 use crate::predict::{PredictionStats, PredictionTable};
 use crate::restart::RestartStrategy;
@@ -37,10 +37,11 @@ use nvm_emu::{
 use nvm_heap::{HeapError, Materialization, NvmHeap};
 use nvm_paging::metadata::MetadataError;
 use nvm_paging::{ChunkId, MetadataRegion, Mmu};
+use nvm_trace::{TraceEventKind, Tracer};
 use std::collections::BTreeSet;
-use std::fmt;
 
 /// Errors surfaced by the engine.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum EngineError {
     /// Allocator failure.
@@ -60,48 +61,23 @@ pub enum EngineError {
     },
     /// Restart was asked for a chunk that has no committed version.
     NoCommittedData(ChunkId),
+    /// The configuration was rejected at engine construction.
+    Config(ConfigError),
 }
 
-impl From<HeapError> for EngineError {
-    fn from(e: HeapError) -> Self {
-        EngineError::Heap(e)
+nvm_emu::error_enum! {
+    EngineError, f {
+        wrap Heap(HeapError) => "heap",
+        wrap Config(ConfigError) => "config",
+        wrap Device(DeviceError) => "device",
+        wrap Metadata(MetadataError) => "metadata",
+        leaf EngineError::ChecksumMismatch { chunk, expected, actual } => write!(
+            f,
+            "checksum mismatch on {chunk:?}: stored {expected:#x}, read {actual:#x}"
+        ),
+        leaf EngineError::NoCommittedData(id) => write!(f, "no committed checkpoint for {id:?}"),
     }
 }
-
-impl From<DeviceError> for EngineError {
-    fn from(e: DeviceError) -> Self {
-        EngineError::Device(e)
-    }
-}
-
-impl From<MetadataError> for EngineError {
-    fn from(e: MetadataError) -> Self {
-        EngineError::Metadata(e)
-    }
-}
-
-impl fmt::Display for EngineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EngineError::Heap(e) => write!(f, "heap: {e}"),
-            EngineError::Device(e) => write!(f, "device: {e}"),
-            EngineError::Metadata(e) => write!(f, "metadata: {e}"),
-            EngineError::ChecksumMismatch {
-                chunk,
-                expected,
-                actual,
-            } => write!(
-                f,
-                "checksum mismatch on {chunk:?}: stored {expected:#x}, read {actual:#x}"
-            ),
-            EngineError::NoCommittedData(id) => {
-                write!(f, "no committed checkpoint for {id:?}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
 
 /// Outcome of a restart.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -144,6 +120,9 @@ pub struct CheckpointEngine {
     lazy_pending: BTreeSet<ChunkId>,
     stats: EngineStats,
     log: Vec<EpochReport>,
+    /// Event-stream handle; disabled (one branch per emission site) by
+    /// default.
+    tracer: Tracer,
 }
 
 impl CheckpointEngine {
@@ -157,6 +136,10 @@ impl CheckpointEngine {
         clock: VirtualClock,
         config: EngineConfig,
     ) -> Result<Self, EngineError> {
+        config.validate()?;
+        if container_capacity == 0 {
+            return Err(ConfigError::ZeroShadowRegion.into());
+        }
         let heap = NvmHeap::new(
             process_id,
             dram,
@@ -185,7 +168,26 @@ impl CheckpointEngine {
             lazy_pending: BTreeSet::new(),
             stats: EngineStats::default(),
             log: Vec::new(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attach a [`Tracer`]: protection faults, pre-copy activity,
+    /// coordinated phases, commit flips, and restarts emit structured
+    /// events stamped with this engine's virtual clock. Pass
+    /// [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    #[inline]
+    fn trace(&self, kind: TraceEventKind) {
+        self.tracer.emit(self.clock.now().as_nanos(), kind);
     }
 
     // ------------------------------------------------------------------
@@ -299,12 +301,16 @@ impl CheckpointEngine {
             total += out.cost;
             self.stats.faults += out.faults as u64;
             self.stats.fault_time += out.cost;
+            if out.faults > 0 {
+                self.trace(TraceEventKind::ProtectionFault { chunk: id.0 });
+            }
             self.predictor.record_modification(id);
             if self.precopy_done.remove(&id) {
                 // A pre-copied chunk was modified again: the earlier
                 // copy is wasted and must be redone.
                 self.stats.wasted_precopy_bytes += chunk_len as u64;
                 self.epoch_wasted += chunk_len as u64;
+                self.trace(TraceEventKind::PrecopyWaste { chunk: id.0 });
             }
         }
         self.clock.advance(total);
@@ -328,6 +334,18 @@ impl CheckpointEngine {
         let window = self.precopy_window(seg_start, dur);
         let mut interference = SimDuration::ZERO;
         if !window.is_zero() {
+            if self.tracer.enabled() {
+                let candidates = self
+                    .heap
+                    .persistent_ids()
+                    .into_iter()
+                    .filter(|id| self.is_precopy_candidate(*id))
+                    .count() as u64;
+                self.trace(TraceEventKind::PrecopyStart {
+                    epoch: self.epoch,
+                    candidates,
+                });
+            }
             let copied_time = self.run_precopy(window);
             interference = copied_time * self.config.precopy_interference;
             self.stats.interference_time += interference;
@@ -345,10 +363,11 @@ impl CheckpointEngine {
         if !self.config.precopy.delayed() {
             return dur;
         }
-        // Delayed policies wait out the first interval entirely: "our
-        // method waits for the first checkpoint step to complete and
-        // finds the approximate interval" — no threshold exists yet.
-        if !self.planner.is_learned() {
+        // Delayed policies wait out the warm-up intervals entirely:
+        // "our method waits for the first checkpoint step to complete
+        // and finds the approximate interval" — no threshold (and for
+        // DCPCP no learned modification counts) exists yet.
+        if !self.planner.is_learned() || self.epoch < self.config.warmup_epochs {
             return SimDuration::ZERO;
         }
         let threshold = self
@@ -386,6 +405,10 @@ impl CheckpointEngine {
             self.epoch_precopied += len;
             self.mmu.protect_after_precopy(id);
             self.precopy_done.insert(id);
+            self.trace(TraceEventKind::PrecopyDrain {
+                chunk: id.0,
+                bytes: len,
+            });
         }
         // Idle budget does not bank: background copying cannot run
         // ahead of data that does not exist yet.
@@ -395,12 +418,17 @@ impl CheckpointEngine {
         spent
     }
 
+    fn is_precopy_candidate(&self, id: ChunkId) -> bool {
+        self.mmu.is_dirty(id)
+            && !self.precopy_done.contains(&id)
+            && (!self.config.precopy.predictive() || self.predictor.ready_for_precopy(id))
+    }
+
     fn next_precopy_candidate(&self) -> Option<ChunkId> {
-        self.heap.persistent_ids().into_iter().find(|id| {
-            self.mmu.is_dirty(*id)
-                && !self.precopy_done.contains(id)
-                && (!self.config.precopy.predictive() || self.predictor.ready_for_precopy(*id))
-        })
+        self.heap
+            .persistent_ids()
+            .into_iter()
+            .find(|id| self.is_precopy_candidate(*id))
     }
 
     // ------------------------------------------------------------------
@@ -412,6 +440,18 @@ impl CheckpointEngine {
     /// still-dirty data, flushes, checksums, and commits.
     pub fn nvchkptall(&mut self) -> Result<EpochReport, EngineError> {
         let t0 = self.clock.now();
+        if self.tracer.enabled() {
+            let dirty = self
+                .heap
+                .persistent_ids()
+                .into_iter()
+                .filter(|id| self.mmu.is_dirty(*id) && !self.precopy_done.contains(id))
+                .count() as u64;
+            self.trace(TraceEventKind::CoordinatedBegin {
+                epoch: self.epoch,
+                dirty,
+            });
+        }
         let mut coordinated_bytes = 0u64;
         let mut skipped_bytes = 0u64;
         // Chunks whose in-progress slot receives (or already received)
@@ -472,6 +512,10 @@ impl CheckpointEngine {
             chunk.committed_slot = Some(slot);
             chunk.checksum = checksum;
             chunk.committed_epoch = epoch;
+            self.trace(TraceEventKind::CommitFlip {
+                chunk: id.0,
+                slot: slot as u64,
+            });
         }
 
         // The commit point: persisting the metadata region. A crash
@@ -491,6 +535,10 @@ impl CheckpointEngine {
 
         let now = self.clock.now();
         let coordinated_time = now.since(t0);
+        self.trace(TraceEventKind::CoordinatedEnd {
+            epoch: self.epoch,
+            copied_bytes: coordinated_bytes,
+        });
         let interval = now.since(self.interval_start);
         let faults_now = self.mmu.stats().faults;
         let report = EpochReport {
@@ -562,6 +610,10 @@ impl CheckpointEngine {
         chunk.committed_slot = Some(slot);
         chunk.checksum = checksum;
         chunk.committed_epoch = epoch;
+        self.trace(TraceEventKind::CommitFlip {
+            chunk: id.0,
+            slot: slot as u64,
+        });
         let meta_cost = self.metadata.save(&self.heap.export_metadata())?;
         self.clock.advance(meta_cost);
         self.mmu.clear_local_dirty(id);
@@ -612,6 +664,31 @@ impl CheckpointEngine {
         clock: VirtualClock,
         config: EngineConfig,
         strategy: RestartStrategy,
+    ) -> Result<(Self, RestartReport), EngineError> {
+        Self::restart_traced(
+            dram,
+            nvm,
+            metadata_region,
+            clock,
+            config,
+            strategy,
+            Tracer::disabled(),
+        )
+    }
+
+    /// [`CheckpointEngine::restart_with`] with a [`Tracer`] attached
+    /// from the first instruction: the restart itself is recorded as a
+    /// [`TraceEventKind::Restart`] event and the rebuilt engine keeps
+    /// the tracer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restart_traced(
+        dram: &MemoryDevice,
+        nvm: &MemoryDevice,
+        metadata_region: RegionId,
+        clock: VirtualClock,
+        config: EngineConfig,
+        strategy: RestartStrategy,
+        tracer: Tracer,
     ) -> Result<(Self, RestartReport), EngineError> {
         let t0 = clock.now();
         let metadata = MetadataRegion::open(nvm, metadata_region)?;
@@ -680,6 +757,13 @@ impl CheckpointEngine {
         }
         report.duration = clock.now().since(t0);
         let now = clock.now();
+        tracer.emit(
+            now.as_nanos(),
+            TraceEventKind::Restart {
+                strategy: strategy.name().to_string(),
+                chunks: report.restored.len() as u64,
+            },
+        );
         let stats = EngineStats {
             restarts: 1,
             ..EngineStats::default()
@@ -703,6 +787,7 @@ impl CheckpointEngine {
                 lazy_pending,
                 stats,
                 log: Vec::new(),
+                tracer,
             },
             report,
         ))
@@ -743,6 +828,10 @@ impl CheckpointEngine {
         if self.config.precopy.enabled() {
             self.mmu.protect_after_precopy(id);
         }
+        self.trace(TraceEventKind::Restart {
+            strategy: "lazy".to_string(),
+            chunks: 1,
+        });
         Ok(())
     }
 
@@ -1231,7 +1320,7 @@ mod tests {
             let dram = MemoryDevice::dram(512 * MB);
             let nvm = MemoryDevice::pcm(512 * MB);
             let clock = VirtualClock::new();
-            let cfg = EngineConfig::default().with_checksums(false);
+            let cfg = EngineConfig::builder().checksums(false).build().unwrap();
             let mut e =
                 CheckpointEngine::new(0, &dram, &nvm, 256 * MB, clock.clone(), cfg).unwrap();
             for i in 0..8 {
@@ -1365,5 +1454,106 @@ mod tests {
             e.nvchkptid(tmp),
             Err(EngineError::NoCommittedData(_))
         ));
+    }
+
+    #[test]
+    fn invalid_configs_rejected_at_construction() {
+        let dram = MemoryDevice::dram(MB);
+        let nvm = MemoryDevice::pcm(16 * MB);
+        let bad = EngineConfig {
+            node_concurrency: 0,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            CheckpointEngine::new(0, &dram, &nvm, 8 * MB, VirtualClock::new(), bad),
+            Err(EngineError::Config(ConfigError::ZeroNodeConcurrency))
+        ));
+        assert!(matches!(
+            CheckpointEngine::new(
+                0,
+                &dram,
+                &nvm,
+                0,
+                VirtualClock::new(),
+                EngineConfig::default()
+            ),
+            Err(EngineError::Config(ConfigError::ZeroShadowRegion))
+        ));
+    }
+
+    #[test]
+    fn error_sources_chain_to_the_device() {
+        use std::error::Error as _;
+        let err = EngineError::from(HeapError::from(nvm_emu::DeviceError::NoSuchRegion(3)));
+        let heap = err.source().expect("engine error wraps heap error");
+        assert_eq!(heap.to_string(), "device error: no such region: 3");
+        let device = heap.source().expect("heap error wraps device error");
+        assert_eq!(device.to_string(), "no such region: 3");
+        assert!(device.source().is_none());
+        assert_eq!(err.to_string(), "heap: device error: no such region: 3");
+    }
+
+    #[test]
+    fn tracer_records_fault_precopy_and_commit_events() {
+        use nvm_trace::BufferSink;
+        use std::sync::Arc;
+
+        let (mut e, ..) = setup(EngineConfig::default().with_precopy(PrecopyPolicy::Cpc));
+        let sink = Arc::new(BufferSink::new());
+        e.set_tracer(Tracer::new(sink.clone()));
+
+        let id = e.nvmalloc("x", 64 * 1024, true).unwrap();
+        e.write(id, 0, &[7u8; 64 * 1024]).unwrap(); // fresh chunk: no fault
+        e.compute(SimDuration::from_secs(1)); // CPC pre-copy drains it
+        e.write(id, 0, &[8u8; 64 * 1024]).unwrap(); // fault + waste
+        e.nvchkptall().unwrap();
+
+        let kinds: Vec<&'static str> = sink
+            .snapshot()
+            .iter()
+            .map(|ev| match &ev.kind {
+                TraceEventKind::ProtectionFault { .. } => "fault",
+                TraceEventKind::PrecopyStart { .. } => "precopy_start",
+                TraceEventKind::PrecopyDrain { .. } => "drain",
+                TraceEventKind::PrecopyWaste { .. } => "waste",
+                TraceEventKind::CoordinatedBegin { .. } => "begin",
+                TraceEventKind::CommitFlip { .. } => "flip",
+                TraceEventKind::CoordinatedEnd { .. } => "end",
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "precopy_start",
+                "drain",
+                "fault",
+                "waste",
+                "begin",
+                "flip",
+                "end"
+            ]
+        );
+        // Timestamps are monotone non-decreasing on one engine's clock.
+        let ts: Vec<u64> = sink.snapshot().iter().map(|ev| ev.t_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn disabled_tracer_changes_nothing() {
+        let run = |traced: bool| {
+            let (mut e, _, _, clock) = setup(EngineConfig::default());
+            if traced {
+                e.set_tracer(Tracer::new(std::sync::Arc::new(nvm_trace::NullSink)));
+            }
+            let id = e.nvmalloc("x", 4096, true).unwrap();
+            for i in 0..3u8 {
+                e.write(id, 0, &[i; 4096]).unwrap();
+                e.compute(SimDuration::from_millis(100));
+                e.nvchkptall().unwrap();
+            }
+            clock.now().as_nanos()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -54,7 +54,7 @@ pub mod stats;
 pub mod transparent;
 
 pub use compress::{compress, decompress, CompressionModel, CompressionStats};
-pub use config::{EngineConfig, PrecopyPolicy};
+pub use config::{ConfigError, EngineConfig, EngineConfigBuilder, PrecopyPolicy};
 pub use engine::{CheckpointEngine, EngineError, RestartReport};
 pub use precopy::PrecopyPlanner;
 pub use predict::PredictionTable;
@@ -62,7 +62,21 @@ pub use restart::RestartStrategy;
 pub use stats::{EngineStats, EpochReport};
 pub use transparent::TransparentProcess;
 
+// The Table-III C surface, re-exported so bindings and examples import
+// from the crate root instead of reaching into `capi`.
+pub use capi::{
+    nv2dalloc, nv_genid, nvalloc, nvchkptall, nvchkptid, nvcompute, nvdelete, nvm_close,
+    nvm_last_error, nvm_last_error_len, nvm_open, nvm_simulate_restart, nvread, nvwrite, NvmCtx,
+};
+
 // Re-exports so downstream crates rarely need the substrate crates
 // directly.
 pub use nvm_heap::{Materialization, Versioning};
 pub use nvm_paging::{genid, ChunkId, Granularity};
+
+// Event-tracing surface: attach a `Tracer` with
+// [`CheckpointEngine::set_tracer`] and collect [`TraceEvent`]s from
+// any [`TraceSink`].
+pub use nvm_trace::{
+    BufferSink, JsonlSink, NullSink, TraceEvent, TraceEventKind, TraceSink, Tracer,
+};

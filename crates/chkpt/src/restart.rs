@@ -35,6 +35,17 @@ pub enum RestartStrategy {
     Lazy,
 }
 
+impl RestartStrategy {
+    /// Short lowercase name, used to label trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            RestartStrategy::Eager => "eager",
+            RestartStrategy::Parallel { .. } => "parallel",
+            RestartStrategy::Lazy => "lazy",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

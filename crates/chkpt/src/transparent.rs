@@ -79,6 +79,12 @@ impl TransparentProcess {
         &self.engine
     }
 
+    /// Attach a tracer to the wrapped engine: stores, checkpoints, and
+    /// restarts of this process image appear on the event stream.
+    pub fn set_tracer(&mut self, tracer: nvm_trace::Tracer) {
+        self.engine.set_tracer(tracer);
+    }
+
     fn locate(&self, addr: usize) -> (usize, usize) {
         (addr / self.segment_bytes, addr % self.segment_bytes)
     }

@@ -114,7 +114,11 @@ mod tests {
         let dram = MemoryDevice::dram(64 << 20);
         let nvm = MemoryDevice::pcm(64 << 20);
         let clock = VirtualClock::new();
-        let cfg = EngineConfig::default().with_materialization(Materialization::Synthetic);
+        let cfg = EngineConfig::builder()
+            .materialization(Materialization::Synthetic)
+            .checksums(false)
+            .build()
+            .unwrap();
         let mut eng = CheckpointEngine::new(0, &dram, &nvm, 32 << 20, clock.clone(), cfg).unwrap();
         let mut w = UniformWorkload::new(4, 1 << 20, SimDuration::from_secs(1), 1000);
         w.setup(&mut eng).unwrap();

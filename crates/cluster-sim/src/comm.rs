@@ -66,6 +66,16 @@ pub enum Collective {
 }
 
 impl Collective {
+    /// Short lowercase name, used to label trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Collective::Halo { .. } => "halo",
+            Collective::AllReduce => "allreduce",
+            Collective::AllToAll => "alltoall",
+            Collective::Broadcast => "broadcast",
+        }
+    }
+
     /// Time for one collective moving `bytes` per rank among `p`
     /// ranks under fabric `ab`.
     pub fn time(&self, bytes: u64, p: usize, ab: &AlphaBeta) -> SimDuration {

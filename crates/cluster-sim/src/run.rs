@@ -32,9 +32,11 @@ use crate::failure::{FailureConfig, FailureKind, FailureSchedule};
 use crate::schedule::{Activity, ScheduleTrace};
 use nvm_chkpt::{CheckpointEngine, EngineConfig, EngineError, EngineStats, EpochReport};
 use nvm_emu::{BandwidthModel, MemoryDevice, SimDuration, SimTime, VirtualClock};
+use nvm_trace::{BufferSink, TraceEvent, TraceEventKind, Tracer};
 use rdma_sim::armci::RemoteError;
 use rdma_sim::{HelperParams, HelperProcess, HelperStats, Link, RemoteStore, UsageTrace};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Remote checkpointing configuration.
 #[derive(Clone, Copy, Debug)]
@@ -96,6 +98,11 @@ pub struct ClusterConfig {
     /// cross-rank reduction iterates in rank order on the
     /// coordinator.
     pub threads: usize,
+    /// Collect a structured event trace of the run. Each rank buffers
+    /// its own events; the coordinator merges them in `(time, rank)`
+    /// order into [`RunResult::trace`], so the trace is bit-identical
+    /// for serial and multi-threaded execution.
+    pub trace: bool,
 }
 
 impl ClusterConfig {
@@ -106,10 +113,12 @@ impl ClusterConfig {
             nodes,
             ranks_per_node,
             container_bytes: 64 << 20,
-            engine: EngineConfig::default()
-                .with_materialization(nvm_chkpt::Materialization::Synthetic)
-                .with_checksums(false)
-                .with_node_concurrency(ranks_per_node),
+            engine: EngineConfig::builder()
+                .materialization(nvm_chkpt::Materialization::Synthetic)
+                .checksums(false)
+                .node_concurrency(ranks_per_node.max(1))
+                .build()
+                .expect("cluster engine config is valid"),
             nvm_bw_per_core: None,
             local_interval: Some(SimDuration::from_secs(40)),
             remote: None,
@@ -117,12 +126,19 @@ impl ClusterConfig {
             failures: None,
             failure_horizon: SimDuration::from_secs(86_400),
             threads: 1,
+            trace: false,
         }
     }
 
     /// Set the rank-execution worker-thread count (builder style).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable event-trace collection (builder style).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -139,6 +155,7 @@ impl ClusterConfig {
 }
 
 /// Errors from a simulation run.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum SimError {
     /// Engine-level failure.
@@ -147,28 +164,12 @@ pub enum SimError {
     Remote(RemoteError),
 }
 
-impl From<EngineError> for SimError {
-    fn from(e: EngineError) -> Self {
-        SimError::Engine(e)
+nvm_emu::error_enum! {
+    SimError, f {
+        wrap Engine(EngineError) => "engine",
+        wrap Remote(RemoteError) => "remote",
     }
 }
-
-impl From<RemoteError> for SimError {
-    fn from(e: RemoteError) -> Self {
-        SimError::Remote(e)
-    }
-}
-
-impl std::fmt::Display for SimError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimError::Engine(e) => write!(f, "engine: {e}"),
-            SimError::Remote(e) => write!(f, "remote: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
 
 /// Results of one simulated run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -201,6 +202,9 @@ pub struct RunResult {
     pub schedule: ScheduleTrace,
     /// Checkpoint bytes per rank (`D`).
     pub checkpoint_bytes_per_rank: u64,
+    /// Merged event trace in `(time, rank)` order; empty unless
+    /// [`ClusterConfig::trace`] is set.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl RunResult {
@@ -224,6 +228,9 @@ struct Rank {
     clock: VirtualClock,
     engine: CheckpointEngine,
     workload: Box<dyn Workload>,
+    /// Private event buffer; engine events land here via the tracer so
+    /// parallel ranks never contend on (or reorder) a shared stream.
+    sink: Option<Arc<BufferSink>>,
 }
 
 // The worker pool moves `&mut Rank` across scoped threads; everything
@@ -366,11 +373,19 @@ impl ClusterSim {
                 )?;
                 let mut workload = factory(global);
                 workload.setup(&mut engine)?;
+                let sink = if config.trace {
+                    let sink = Arc::new(BufferSink::new());
+                    engine.set_tracer(Tracer::new(sink.clone()).with_rank(global));
+                    Some(sink)
+                } else {
+                    None
+                };
                 node_ranks.push(Rank {
                     global,
                     clock,
                     engine,
                     workload,
+                    sink,
                 });
             }
             ranks.push(node_ranks);
@@ -410,6 +425,12 @@ impl ClusterSim {
     /// Run to completion.
     pub fn run(mut self) -> Result<RunResult, SimError> {
         let mut trace = ScheduleTrace::new();
+        // Cluster-level events (failures, remote shipping) happen on
+        // the coordinator, outside any single rank's timeline; they get
+        // their own buffer and merge with the per-rank streams at the
+        // end.
+        let mut coord: Vec<TraceEvent> = Vec::new();
+        let tracing = self.config.trace;
         let mut failures = match &self.config.failures {
             Some(cfg) => FailureSchedule::generate(
                 cfg,
@@ -447,6 +468,16 @@ impl ClusterSim {
                             r.clock.advance_to(t);
                         }
                         trace.record(Activity::Restart, t - restart, t);
+                        if tracing {
+                            coord.push(TraceEvent {
+                                t_ns: (t - restart).as_nanos(),
+                                rank: 0,
+                                kind: TraceEventKind::RankFailure {
+                                    iteration: iter,
+                                    hard: false,
+                                },
+                            });
+                        }
                         lost += iter - last_local_iter;
                         iter = last_local_iter;
                     }
@@ -458,6 +489,16 @@ impl ClusterSim {
                             r.clock.advance_to(t);
                         }
                         trace.record(Activity::Restart, t - restart, t);
+                        if tracing {
+                            coord.push(TraceEvent {
+                                t_ns: (t - restart).as_nanos(),
+                                rank: 0,
+                                kind: TraceEventKind::RankFailure {
+                                    iteration: iter,
+                                    hard: true,
+                                },
+                            });
+                        }
                         lost += iter - last_remote_iter;
                         iter = last_remote_iter;
                     }
@@ -506,12 +547,25 @@ impl ClusterSim {
                         let fabric = AlphaBeta::infiniband(self.nodes[n].link.capacity());
                         let total_ranks = self.config.nodes * self.config.ranks_per_node;
                         for rank in self.ranks[n].iter_mut() {
-                            let delay = rank.workload.comm_pattern().contention_delay(
-                                total_ranks,
-                                &fabric,
-                                rate,
-                            );
+                            let pattern = rank.workload.comm_pattern();
+                            let delay = pattern.contention_delay(total_ranks, &fabric, rate);
                             if !delay.is_zero() {
+                                let tracer = rank.engine.tracer();
+                                if tracer.enabled() {
+                                    let t = rank.clock.now().as_nanos();
+                                    for (c, b) in &pattern.ops {
+                                        let d = c.contention_delay(*b, total_ranks, &fabric, rate);
+                                        if !d.is_zero() {
+                                            tracer.emit(
+                                                t,
+                                                TraceEventKind::CommWait {
+                                                    op: c.name().to_string(),
+                                                    wait_ns: d.as_nanos(),
+                                                },
+                                            );
+                                        }
+                                    }
+                                }
                                 rank.clock.advance(delay);
                                 if n == 0 && rank.global == 0 {
                                     trace.record(
@@ -604,6 +658,16 @@ impl ClusterSim {
                                 let rate = shipped as f64 / dur.as_secs_f64();
                                 self.nodes[n].add_flow(t1 + dur, rate);
                                 cluster_end = cluster_end.max(t1 + dur);
+                                if tracing {
+                                    coord.push(TraceEvent {
+                                        t_ns: t1.as_nanos(),
+                                        rank: (n * self.config.ranks_per_node) as u64,
+                                        kind: TraceEventKind::RemoteTransfer {
+                                            bytes: shipped,
+                                            incremental: true,
+                                        },
+                                    });
+                                }
                             }
                         }
                         trace.record(Activity::RemoteCheckpoint, t1, cluster_end);
@@ -632,6 +696,16 @@ impl ClusterSim {
                                 let rate = volume as f64 / dur.as_secs_f64();
                                 self.nodes[n].add_flow(t1 + dur, rate);
                                 cluster_end = cluster_end.max(t1 + dur);
+                                if tracing {
+                                    coord.push(TraceEvent {
+                                        t_ns: t1.as_nanos(),
+                                        rank: (n * self.config.ranks_per_node) as u64,
+                                        kind: TraceEventKind::RemoteTransfer {
+                                            bytes: volume,
+                                            incremental: false,
+                                        },
+                                    });
+                                }
                             }
                         }
                         trace.record(Activity::RemoteCheckpoint, t1, cluster_end);
@@ -641,6 +715,18 @@ impl ClusterSim {
         }
 
         let total_time = self.barrier().since(SimTime::ZERO);
+        let merged_trace = if tracing {
+            let mut buffers: Vec<Vec<TraceEvent>> = self
+                .ranks
+                .iter()
+                .flatten()
+                .map(|r| r.sink.as_ref().map(|s| s.snapshot()).unwrap_or_default())
+                .collect();
+            buffers.push(coord);
+            nvm_trace::merge_ranked(buffers)
+        } else {
+            Vec::new()
+        };
         let mut engine_stats = EngineStats::default();
         for r in self.ranks.iter().flatten() {
             let s = r.engine.stats();
@@ -673,6 +759,7 @@ impl ClusterSim {
             lost_iterations: lost,
             schedule: trace,
             checkpoint_bytes_per_rank: d_per_rank,
+            trace: merged_trace,
         })
     }
 
@@ -905,6 +992,48 @@ mod tests {
                 SimError::Engine(EngineError::NoCommittedData(nvm_paging::ChunkId(2)))
             ),
             "{err}"
+        );
+    }
+
+    #[test]
+    fn traced_run_collects_merged_events() {
+        let mut cfg = small_config().with_trace(true);
+        cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        assert!(!r.trace.is_empty());
+        assert!(
+            r.trace
+                .windows(2)
+                .all(|w| (w[0].t_ns, w[0].rank) <= (w[1].t_ns, w[1].rank)),
+            "trace must be in (time, rank) order"
+        );
+        let summary = nvm_trace::summarize(&r.trace);
+        assert!(summary.coordinated >= r.local_checkpoints);
+        assert!(summary.remote_transfers >= r.remote_checkpoints);
+        // Untraced runs keep the field empty.
+        let quiet = ClusterSim::new(small_config(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(quiet.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_bit_identical_serial_vs_parallel() {
+        let mut cfg = small_config().with_trace(true);
+        cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+        let serial = ClusterSim::new(cfg.clone(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        let parallel = ClusterSim::new(cfg.with_threads(4), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(!serial.trace.is_empty());
+        assert_eq!(
+            nvm_trace::to_jsonl(&serial.trace),
+            nvm_trace::to_jsonl(&parallel.trace)
         );
     }
 

@@ -23,8 +23,9 @@ use crate::bandwidth::BandwidthModel;
 use crate::energy::EnergyMeter;
 use crate::error::DeviceError;
 use crate::params::{DeviceKind, DeviceParams};
-use crate::time::SimDuration;
+use crate::time::{SimDuration, VirtualClock};
 use crate::{pages_for, PAGE_SIZE};
+use nvm_trace::{TraceEventKind, Tracer};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -101,6 +102,15 @@ impl Region {
     }
 }
 
+/// Tracer attachment for a device. The device is passive (it has no
+/// clock of its own), so the caller that owns the device's timeline
+/// hands over the clock to stamp [`TraceEventKind::DeviceCharge`]
+/// events with.
+struct DeviceTracer {
+    tracer: Tracer,
+    clock: VirtualClock,
+}
+
 struct Inner {
     params: DeviceParams,
     model: BandwidthModel,
@@ -111,6 +121,8 @@ struct Inner {
     stats: DeviceStats,
     /// When true, writes past the endurance limit return an error.
     strict_endurance: bool,
+    /// Optional charge tracing; `None` (the default) costs one branch.
+    tracer: Option<DeviceTracer>,
 }
 
 /// An emulated DRAM or NVM device. Cloning yields another handle to the
@@ -143,6 +155,7 @@ impl MemoryDevice {
                 regions: HashMap::new(),
                 stats: DeviceStats::default(),
                 strict_endurance: false,
+                tracer: None,
             })),
         }
     }
@@ -166,6 +179,26 @@ impl MemoryDevice {
     /// Enable or disable strict endurance checking.
     pub fn set_strict_endurance(&self, strict: bool) {
         self.inner.lock().strict_endurance = strict;
+    }
+
+    /// Attach a tracer: every subsequent read/write/flush charge emits
+    /// a [`TraceEventKind::DeviceCharge`] event stamped with `clock`'s
+    /// current virtual time. The device is passive, so the clock must
+    /// be the one the device's caller advances. Only attach a tracer
+    /// when the device has a single timeline owner — a device shared
+    /// by concurrently-executing ranks would interleave events
+    /// nondeterministically.
+    pub fn set_tracer(&self, tracer: Tracer, clock: VirtualClock) {
+        self.inner.lock().tracer = if tracer.enabled() {
+            Some(DeviceTracer { tracer, clock })
+        } else {
+            None
+        };
+    }
+
+    /// Detach any tracer attached with [`MemoryDevice::set_tracer`].
+    pub fn clear_tracer(&self) {
+        self.inner.lock().tracer = None;
     }
 
     /// Device parameter block.
@@ -359,6 +392,7 @@ impl MemoryDevice {
         let cost = FLUSH_PER_LINE * lines;
         g.stats.flush_ops += 1;
         g.stats.busy += cost;
+        g.trace_charge("flush", len as u64, cost);
         Ok(cost)
     }
 
@@ -440,6 +474,7 @@ impl Inner {
         self.stats
             .energy
             .charge_write(len as u64, params.write_energy_pj_per_bit);
+        self.trace_charge("write", len as u64, cost);
         Ok(cost)
     }
 
@@ -454,7 +489,22 @@ impl Inner {
         self.stats.bytes_read += len as u64;
         self.stats.read_ops += 1;
         self.stats.busy += cost;
+        self.trace_charge("read", len as u64, cost);
         cost
+    }
+
+    fn trace_charge(&self, op: &str, bytes: u64, cost: SimDuration) {
+        if let Some(dt) = &self.tracer {
+            dt.tracer.emit(
+                dt.clock.now().as_nanos(),
+                TraceEventKind::DeviceCharge {
+                    device: self.params.kind.name().to_string(),
+                    op: op.to_string(),
+                    bytes,
+                    cost_ns: cost.as_nanos(),
+                },
+            );
+        }
     }
 }
 
@@ -646,6 +696,43 @@ mod tests {
         let r = d.alloc(128).unwrap();
         d2.write(r, 0, &[9; 128], 1).unwrap();
         assert_eq!(d.snapshot(r).unwrap(), vec![9u8; 128]);
+    }
+
+    #[test]
+    fn attached_tracer_records_charges() {
+        let d = MemoryDevice::pcm(MB);
+        let clock = VirtualClock::new();
+        let sink = std::sync::Arc::new(nvm_trace::BufferSink::new());
+        d.set_tracer(Tracer::new(sink.clone()), clock.clone());
+        let r = d.alloc(4096).unwrap();
+        let cost = d.write(r, 0, &[1; 4096], 1).unwrap();
+        clock.advance(cost);
+        d.flush(r, 4096).unwrap();
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        match &events[0].kind {
+            TraceEventKind::DeviceCharge {
+                device,
+                op,
+                bytes,
+                cost_ns,
+            } => {
+                assert_eq!(device, "pcm");
+                assert_eq!(op, "write");
+                assert_eq!(*bytes, 4096);
+                assert_eq!(*cost_ns, cost.as_nanos());
+            }
+            other => panic!("expected DeviceCharge, got {other:?}"),
+        }
+        // The write was stamped before the clock advanced; the flush
+        // after.
+        assert_eq!(events[0].t_ns, 0);
+        assert_eq!(events[1].t_ns, cost.as_nanos());
+
+        // A disabled tracer detaches cleanly.
+        d.set_tracer(Tracer::disabled(), clock.clone());
+        d.flush(r, 64).unwrap();
+        assert!(sink.is_empty());
     }
 
     #[test]

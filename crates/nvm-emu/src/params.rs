@@ -27,6 +27,15 @@ impl DeviceKind {
     pub fn is_persistent(self) -> bool {
         !matches!(self, DeviceKind::Dram)
     }
+
+    /// Short lowercase name, used to label trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Dram => "dram",
+            DeviceKind::Pcm => "pcm",
+            DeviceKind::CustomNvm => "nvm",
+        }
+    }
 }
 
 /// Performance/endurance model for one memory device.

@@ -16,9 +16,9 @@ use crate::chunk::{Chunk, Versioning};
 use nvm_emu::{pages_for, DeviceError, MemoryDevice, RegionId, SimDuration};
 use nvm_paging::{genid, ChunkId, ChunkRecord, ProcessMetadata};
 use std::collections::BTreeMap;
-use std::fmt;
 
 /// Errors from the heap layer.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum HeapError {
     /// A chunk with this id already exists.
@@ -43,33 +43,19 @@ pub enum HeapError {
     },
 }
 
-impl From<DeviceError> for HeapError {
-    fn from(e: DeviceError) -> Self {
-        HeapError::Device(e)
+nvm_emu::error_enum! {
+    HeapError, f {
+        wrap Device(DeviceError) => "device error",
+        leaf HeapError::AlreadyExists(id) => write!(f, "chunk {id:?} already exists"),
+        leaf HeapError::NoSuchChunk(id) => write!(f, "no such chunk {id:?}"),
+        leaf HeapError::OutOfNvm { requested, largest_free } => write!(
+            f,
+            "NVM container exhausted: requested {requested}, largest free run {largest_free}"
+        ),
+        leaf HeapError::MissingVersion { chunk, slot } =>
+            write!(f, "chunk {chunk:?} has no version in slot {slot}"),
     }
 }
-
-impl fmt::Display for HeapError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            HeapError::AlreadyExists(id) => write!(f, "chunk {id:?} already exists"),
-            HeapError::NoSuchChunk(id) => write!(f, "no such chunk {id:?}"),
-            HeapError::OutOfNvm {
-                requested,
-                largest_free,
-            } => write!(
-                f,
-                "NVM container exhausted: requested {requested}, largest free run {largest_free}"
-            ),
-            HeapError::Device(e) => write!(f, "device error: {e}"),
-            HeapError::MissingVersion { chunk, slot } => {
-                write!(f, "chunk {chunk:?} has no version in slot {slot}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for HeapError {}
 
 /// Whether chunk payloads are byte-backed or size-only.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]

@@ -183,6 +183,7 @@ impl MetadataRegion {
 }
 
 /// Errors raised while loading metadata.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum MetadataError {
     /// Underlying device error.
@@ -191,22 +192,12 @@ pub enum MetadataError {
     Corrupt(String),
 }
 
-impl From<DeviceError> for MetadataError {
-    fn from(e: DeviceError) -> Self {
-        MetadataError::Device(e)
+nvm_emu::error_enum! {
+    MetadataError, f {
+        wrap Device(DeviceError) => "device error",
+        leaf MetadataError::Corrupt(s) => write!(f, "corrupt metadata: {s}"),
     }
 }
-
-impl std::fmt::Display for MetadataError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MetadataError::Device(e) => write!(f, "device error: {e}"),
-            MetadataError::Corrupt(s) => write!(f, "corrupt metadata: {s}"),
-        }
-    }
-}
-
-impl std::error::Error for MetadataError {}
 
 #[cfg(test)]
 mod tests {

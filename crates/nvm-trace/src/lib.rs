@@ -1,0 +1,639 @@
+//! Deterministic structured event tracing for the NVM checkpoint stack.
+//!
+//! The paper's central claims are *timeline* claims: pre-copy drains
+//! dirty chunks in the background, DCPC/DCPCP defer hot chunks, the
+//! coordinated step shrinks. End-of-run aggregates cannot show any of
+//! that, so this crate provides a virtual-time-stamped event stream
+//! that the engine, cluster simulator, and device layer all feed.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero cost when disabled.** A [`Tracer`] is a clonable handle
+//!    that is `None` by default; every emission site guards on
+//!    [`Tracer::enabled`], which is a single branch on an `Option`.
+//! 2. **Deterministic.** Events carry a `u64` virtual-time stamp
+//!    (`t_ns`, nanoseconds on the owning rank's clock) and a rank tag.
+//!    Per-rank buffers merged with [`merge_ranked`] produce an event
+//!    stream that is bit-identical whether ranks executed serially or
+//!    on a thread pool, extending the cluster simulator's determinism
+//!    guarantee to the trace itself.
+//! 3. **Pluggable output.** [`TraceSink`] is object-safe; shipped
+//!    sinks are [`NullSink`], an in-memory ring [`BufferSink`] for
+//!    tests, and a streaming [`JsonlSink`]. [`to_jsonl`] and
+//!    [`to_chrome_trace`] render collected events offline — the latter
+//!    loads in `chrome://tracing` / Perfetto.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// What happened. Variants map one-to-one onto the mechanisms the
+/// paper's timeline figures argue about; see DESIGN.md for the
+/// figure-by-figure mapping.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// First write to a protected chunk after a checkpoint: the MMU
+    /// write-protection fault that makes the chunk dirty.
+    ProtectionFault {
+        /// Chunk that faulted.
+        chunk: u64,
+    },
+    /// A background pre-copy window opened inside the compute phase.
+    PrecopyStart {
+        /// Epoch the window belongs to.
+        epoch: u64,
+        /// Stable (drainable) chunks visible at window start.
+        candidates: u64,
+    },
+    /// Pre-copy drained one chunk to its shadow slot.
+    PrecopyDrain {
+        /// Chunk drained.
+        chunk: u64,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// A pre-copied chunk was re-dirtied before the checkpoint: the
+    /// background copy was wasted work.
+    PrecopyWaste {
+        /// Chunk whose pre-copy was invalidated.
+        chunk: u64,
+    },
+    /// The coordinated (blocking) checkpoint phase began.
+    CoordinatedBegin {
+        /// Epoch being committed.
+        epoch: u64,
+        /// Dirty chunks left for the coordinated step.
+        dirty: u64,
+    },
+    /// The coordinated checkpoint phase finished.
+    CoordinatedEnd {
+        /// Epoch committed.
+        epoch: u64,
+        /// Bytes copied during the blocking step.
+        copied_bytes: u64,
+    },
+    /// A chunk's committed-version pointer flipped to a new slot
+    /// (the two-version commit).
+    CommitFlip {
+        /// Chunk committed.
+        chunk: u64,
+        /// Slot index (0 or 1) now holding the committed version.
+        slot: u64,
+    },
+    /// The engine restored state from the last committed checkpoint.
+    Restart {
+        /// Restart strategy name (`eager`, `parallel`, `lazy`).
+        strategy: String,
+        /// Chunks restored (0 for lazy, which defers).
+        chunks: u64,
+    },
+    /// A remote helper shipped checkpoint bytes to a buddy node.
+    RemoteTransfer {
+        /// Bytes moved over the interconnect.
+        bytes: u64,
+        /// True for incremental (pre-copy) shipping, false for a bulk
+        /// post-checkpoint burst.
+        incremental: bool,
+    },
+    /// A memory device charged virtual time for an operation.
+    DeviceCharge {
+        /// Device name (e.g. `nvm`, `dram`).
+        device: String,
+        /// Operation (`write`, `read`, `flush`).
+        op: String,
+        /// Bytes involved.
+        bytes: u64,
+        /// Virtual nanoseconds charged.
+        cost_ns: u64,
+    },
+    /// A rank failed during a cluster run.
+    RankFailure {
+        /// Iteration at which the failure struck.
+        iteration: u64,
+        /// True if the node was lost (recovery from the remote copy).
+        hard: bool,
+    },
+    /// A rank waited on a communication collective.
+    CommWait {
+        /// Collective name (`halo`, `allreduce`, `alltoall`, `bcast`).
+        op: String,
+        /// Virtual nanoseconds spent waiting.
+        wait_ns: u64,
+    },
+}
+
+impl TraceEventKind {
+    /// Short stable name for this event kind (used as the Chrome
+    /// trace event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::ProtectionFault { .. } => "fault",
+            TraceEventKind::PrecopyStart { .. } => "precopy_start",
+            TraceEventKind::PrecopyDrain { .. } => "precopy_drain",
+            TraceEventKind::PrecopyWaste { .. } => "precopy_waste",
+            TraceEventKind::CoordinatedBegin { .. } => "coordinated",
+            TraceEventKind::CoordinatedEnd { .. } => "coordinated",
+            TraceEventKind::CommitFlip { .. } => "commit_flip",
+            TraceEventKind::Restart { .. } => "restart",
+            TraceEventKind::RemoteTransfer { .. } => "remote_transfer",
+            TraceEventKind::DeviceCharge { .. } => "device_charge",
+            TraceEventKind::RankFailure { .. } => "rank_failure",
+            TraceEventKind::CommWait { .. } => "comm_wait",
+        }
+    }
+}
+
+/// One timestamped event on one rank's virtual clock.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time in nanoseconds on the emitting rank's clock.
+    pub t_ns: u64,
+    /// Rank that emitted the event (0 for single-process runs).
+    pub rank: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Destination for emitted events. Implementations use interior
+/// mutability; `record` takes `&self` so one sink can be shared by
+/// clones of a [`Tracer`].
+pub trait TraceSink: Send + Sync {
+    /// Accept one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// Sink that discards everything. Tracing call sites normally guard
+/// on [`Tracer::enabled`] and never reach a sink at all; `NullSink`
+/// exists for code that wants an always-valid sink object.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// In-memory ring buffer sink for tests and for per-rank collection
+/// in the cluster simulator. Unbounded by default; with a capacity,
+/// keeps only the most recent events.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    events: Mutex<Vec<TraceEvent>>,
+    capacity: Option<usize>,
+}
+
+impl BufferSink {
+    /// Unbounded buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ring buffer keeping at most `capacity` most-recent events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BufferSink {
+            events: Mutex::new(Vec::new()),
+            capacity: Some(capacity.max(1)),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True if nothing has been recorded (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Remove and return the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&self, event: TraceEvent) {
+        let mut events = self.events.lock().unwrap();
+        if let Some(cap) = self.capacity {
+            if events.len() == cap {
+                events.remove(0);
+            }
+        }
+        events.push(event);
+    }
+}
+
+/// Streaming sink that writes one JSON object per line as events
+/// arrive. Buffered; flushed on drop.
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream events to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(Box::new(std::io::BufWriter::new(file))),
+        })
+    }
+
+    /// Stream events to an arbitrary writer (tests).
+    pub fn from_writer(writer: Box<dyn std::io::Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().unwrap().flush()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: TraceEvent) {
+        let line = serde_json::to_string(&event).expect("trace events always serialize");
+        let mut writer = self.writer.lock().unwrap();
+        let _ = writeln!(writer, "{line}");
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+/// Clonable emission handle: an optional shared sink plus the rank
+/// tag stamped onto every event. The default handle is disabled and
+/// costs one `Option` branch per call site.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+    rank: u64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("rank", &self.rank)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Disabled handle; every emission is a no-op.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Handle feeding `sink`, tagged rank 0.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer {
+            sink: Some(sink),
+            rank: 0,
+        }
+    }
+
+    /// Same sink, different rank tag.
+    pub fn with_rank(&self, rank: u64) -> Self {
+        Tracer {
+            sink: self.sink.clone(),
+            rank,
+        }
+    }
+
+    /// Rank stamped onto emitted events.
+    pub fn rank(&self) -> u64 {
+        self.rank
+    }
+
+    /// True when a sink is attached. Call sites that need to compute
+    /// anything to build an event should guard on this first.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit one event at virtual time `t_ns`. No-op when disabled.
+    #[inline]
+    pub fn emit(&self, t_ns: u64, kind: TraceEventKind) {
+        if let Some(sink) = &self.sink {
+            sink.record(TraceEvent {
+                t_ns,
+                rank: self.rank,
+                kind,
+            });
+        }
+    }
+}
+
+/// Merge per-rank event buffers (index = rank order) into one
+/// deterministic stream: stable sort on `(t_ns, rank)`, preserving
+/// each rank's own emission order. The result is independent of how
+/// the ranks were scheduled onto threads.
+pub fn merge_ranked(buffers: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut merged: Vec<TraceEvent> = buffers.into_iter().flatten().collect();
+    merged.sort_by_key(|e| (e.t_ns, e.rank));
+    merged
+}
+
+/// Render events as JSONL: one compact JSON object per line, in
+/// input order. Byte-deterministic for a given event sequence.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        let line = serde_json::to_string(event).expect("trace events always serialize");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse JSONL produced by [`to_jsonl`] (or a [`JsonlSink`]).
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Render events in Chrome `trace_event` JSON-array format, loadable
+/// in `chrome://tracing` or Perfetto. Coordinated phases become
+/// duration begin/end pairs; everything else becomes a thread-scoped
+/// instant event. `pid` is always 0 and `tid` is the rank, so each
+/// rank renders as its own track.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = match event.kind {
+            TraceEventKind::CoordinatedBegin { .. } => "B",
+            TraceEventKind::CoordinatedEnd { .. } => "E",
+            _ => "i",
+        };
+        let args = kind_args(&event.kind);
+        let us_whole = event.t_ns / 1000;
+        let us_frac = event.t_ns % 1000;
+        write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":0,\"tid\":{}",
+            event.kind.name(),
+            ph,
+            us_whole,
+            us_frac,
+            event.rank
+        )
+        .expect("writing to a String cannot fail");
+        if ph == "i" {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":");
+        out.push_str(&args);
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// JSON object holding the payload fields of `kind` (the externally
+/// tagged serde form with the tag stripped).
+fn kind_args(kind: &TraceEventKind) -> String {
+    match kind.to_value() {
+        // Data-carrying variants serialize as {"Variant": {fields}}.
+        serde::Value::Object(fields) if fields.len() == 1 => {
+            serde_json::to_string(&fields[0].1).expect("trace events always serialize")
+        }
+        // Unit variants serialize as a bare string: no payload.
+        _ => String::from("{}"),
+    }
+}
+
+/// Per-kind event counts plus total charged device time — the compact
+/// summary bench reports print.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total events.
+    pub events: u64,
+    /// Protection faults.
+    pub faults: u64,
+    /// Chunks drained by pre-copy.
+    pub precopy_drains: u64,
+    /// Pre-copied chunks invalidated by later writes.
+    pub precopy_wastes: u64,
+    /// Coordinated checkpoint phases completed.
+    pub coordinated: u64,
+    /// Commit pointer flips.
+    pub commit_flips: u64,
+    /// Restarts.
+    pub restarts: u64,
+    /// Remote helper transfers.
+    pub remote_transfers: u64,
+    /// Bytes shipped by remote helpers.
+    pub remote_bytes: u64,
+    /// Rank failures.
+    pub rank_failures: u64,
+}
+
+/// Summarize an event stream.
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut s = TraceSummary {
+        events: events.len() as u64,
+        ..TraceSummary::default()
+    };
+    for event in events {
+        match &event.kind {
+            TraceEventKind::ProtectionFault { .. } => s.faults += 1,
+            TraceEventKind::PrecopyDrain { .. } => s.precopy_drains += 1,
+            TraceEventKind::PrecopyWaste { .. } => s.precopy_wastes += 1,
+            TraceEventKind::CoordinatedEnd { .. } => s.coordinated += 1,
+            TraceEventKind::CommitFlip { .. } => s.commit_flips += 1,
+            TraceEventKind::Restart { .. } => s.restarts += 1,
+            TraceEventKind::RemoteTransfer { bytes, .. } => {
+                s.remote_transfers += 1;
+                s.remote_bytes += bytes;
+            }
+            TraceEventKind::RankFailure { .. } => s.rank_failures += 1,
+            _ => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, rank: u64, chunk: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            rank,
+            kind: TraceEventKind::ProtectionFault { chunk },
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.emit(1, TraceEventKind::ProtectionFault { chunk: 0 });
+    }
+
+    #[test]
+    fn buffer_sink_records_in_order() {
+        let sink = Arc::new(BufferSink::new());
+        let tracer = Tracer::new(sink.clone()).with_rank(3);
+        tracer.emit(10, TraceEventKind::ProtectionFault { chunk: 1 });
+        tracer.emit(20, TraceEventKind::PrecopyWaste { chunk: 1 });
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t_ns, 10);
+        assert_eq!(events[0].rank, 3);
+        assert_eq!(events[1].kind, TraceEventKind::PrecopyWaste { chunk: 1 });
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let sink = BufferSink::with_capacity(2);
+        for t in 0..5 {
+            sink.record(ev(t, 0, t));
+        }
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t_ns, 3);
+        assert_eq!(events[1].t_ns, 4);
+    }
+
+    #[test]
+    fn merge_is_schedule_independent() {
+        // Rank buffers as a serial run would fill them...
+        let r0 = vec![ev(5, 0, 0), ev(15, 0, 1)];
+        let r1 = vec![ev(5, 1, 0), ev(10, 1, 1)];
+        let a = merge_ranked(vec![r0.clone(), r1.clone()]);
+        // ...and in the opposite completion order: same merge.
+        let b = merge_ranked(vec![r0, r1]);
+        assert_eq!(a, b);
+        let order: Vec<(u64, u64)> = a.iter().map(|e| (e.t_ns, e.rank)).collect();
+        assert_eq!(order, vec![(5, 0), (5, 1), (10, 1), (15, 0)]);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = vec![
+            ev(1, 0, 7),
+            TraceEvent {
+                t_ns: 2,
+                rank: 1,
+                kind: TraceEventKind::Restart {
+                    strategy: "lazy".into(),
+                    chunks: 0,
+                },
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn jsonl_sink_matches_offline_rendering() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let events = vec![ev(1, 0, 7), ev(2, 0, 8)];
+        let sink = JsonlSink::from_writer(Box::new(Shared(buf.clone())));
+        for e in &events {
+            sink.record(e.clone());
+        }
+        drop(sink);
+        let written = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(written, to_jsonl(&events));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_phase_pairs() {
+        let events = vec![
+            TraceEvent {
+                t_ns: 1_500,
+                rank: 0,
+                kind: TraceEventKind::CoordinatedBegin { epoch: 1, dirty: 4 },
+            },
+            TraceEvent {
+                t_ns: 2_500,
+                rank: 0,
+                kind: TraceEventKind::CoordinatedEnd {
+                    epoch: 1,
+                    copied_bytes: 4096,
+                },
+            },
+        ];
+        let json = to_chrome_trace(&events);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let items = value.as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(items[1].get("ph").unwrap().as_str(), Some("E"));
+        // 1500 ns = 1.500 µs.
+        assert!(json.contains("\"ts\":1.500"));
+    }
+
+    #[test]
+    fn summary_counts_kinds() {
+        let events = vec![
+            ev(1, 0, 0),
+            TraceEvent {
+                t_ns: 2,
+                rank: 0,
+                kind: TraceEventKind::RemoteTransfer {
+                    bytes: 100,
+                    incremental: true,
+                },
+            },
+            TraceEvent {
+                t_ns: 3,
+                rank: 0,
+                kind: TraceEventKind::RemoteTransfer {
+                    bytes: 50,
+                    incremental: false,
+                },
+            },
+        ];
+        let s = summarize(&events);
+        assert_eq!(s.events, 3);
+        assert_eq!(s.faults, 1);
+        assert_eq!(s.remote_transfers, 2);
+        assert_eq!(s.remote_bytes, 150);
+    }
+}

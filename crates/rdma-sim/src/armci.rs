@@ -30,6 +30,7 @@ struct RemoteEntry {
 }
 
 /// Errors from the remote store.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum RemoteError {
     /// Device-level failure on the remote NVM.
@@ -42,24 +43,14 @@ pub enum RemoteError {
     ChecksumMismatch(RemoteKey),
 }
 
-impl From<DeviceError> for RemoteError {
-    fn from(e: DeviceError) -> Self {
-        RemoteError::Device(e)
+nvm_emu::error_enum! {
+    RemoteError, f {
+        wrap Device(DeviceError) => "remote device",
+        leaf RemoteError::NoSuchEntry(k) => write!(f, "no remote entry for {k:?}"),
+        leaf RemoteError::NothingCommitted(k) => write!(f, "nothing committed for {k:?}"),
+        leaf RemoteError::ChecksumMismatch(k) => write!(f, "remote checksum mismatch for {k:?}"),
     }
 }
-
-impl std::fmt::Display for RemoteError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RemoteError::Device(e) => write!(f, "remote device: {e}"),
-            RemoteError::NoSuchEntry(k) => write!(f, "no remote entry for {k:?}"),
-            RemoteError::NothingCommitted(k) => write!(f, "nothing committed for {k:?}"),
-            RemoteError::ChecksumMismatch(k) => write!(f, "remote checksum mismatch for {k:?}"),
-        }
-    }
-}
-
-impl std::error::Error for RemoteError {}
 
 /// A buddy node's NVM-backed checkpoint store.
 pub struct RemoteStore {

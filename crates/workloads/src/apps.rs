@@ -312,10 +312,12 @@ mod tests {
         let dram = MemoryDevice::dram(container * 2 + (64 << 20));
         let nvm = MemoryDevice::pcm(container * 3 + (64 << 20));
         let clock = VirtualClock::new();
-        let cfg = EngineConfig::default()
-            .with_materialization(Materialization::Synthetic)
-            .with_checksums(false)
-            .with_precopy(PrecopyPolicy::Dcpcp);
+        let cfg = EngineConfig::builder()
+            .materialization(Materialization::Synthetic)
+            .checksums(false)
+            .precopy(PrecopyPolicy::Dcpcp)
+            .build()
+            .unwrap();
         let e = CheckpointEngine::new(0, &dram, &nvm, container, clock.clone(), cfg).unwrap();
         (e, clock)
     }

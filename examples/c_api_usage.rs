@@ -6,7 +6,7 @@
 //! cargo run -p nvm-chkpt-examples --bin c_api_usage
 //! ```
 
-use nvm_chkpt::capi::{
+use nvm_chkpt::{
     nv_genid, nvalloc, nvchkptall, nvcompute, nvm_close, nvm_last_error, nvm_open,
     nvm_simulate_restart, nvread, nvwrite,
 };

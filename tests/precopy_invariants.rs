@@ -174,7 +174,7 @@ proptest! {
         let run = |versioning| {
             let dram = MemoryDevice::dram(64 * MB);
             let nvm = MemoryDevice::pcm(64 * MB);
-            let cfg = EngineConfig::default().with_versioning(versioning);
+            let cfg = EngineConfig::builder().versioning(versioning).build().unwrap();
             let mut e =
                 CheckpointEngine::new(0, &dram, &nvm, 32 * MB, VirtualClock::new(), cfg).unwrap();
             let ids: Vec<ChunkId> = (0..CHUNKS)
