@@ -5,32 +5,23 @@
 //! additionally runs a traced GTC simulation and writes its event
 //! stream to PATH (`.jsonl` for line-delimited JSON, anything else for
 //! Chrome `trace_event` JSON viewable in chrome://tracing or
-//! Perfetto).
+//! Perfetto); `--metrics PATH` runs a metered GTC simulation and
+//! writes its metrics report to PATH as stable-ordered JSON plus a
+//! Prometheus text exposition alongside it. Unknown flags abort with
+//! usage.
 use nvm_bench::experiments::*;
 use nvm_bench::report::write_json;
-use nvm_bench::scale::{threads_from, trace_from, Scale};
+use nvm_bench::scale::RunArgs;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let threads = threads_from(&args);
-    let trace_path = trace_from(&args);
-    let scale = if quick {
-        Scale::quick()
-    } else {
-        Scale::paper()
-    }
-    .with_threads(threads);
-    let remote_scale = if quick {
-        Scale::quick()
-    } else {
-        Scale::paper_remote()
-    }
-    .with_threads(threads);
+    let args = RunArgs::from_env();
+    let scale = args.scale();
+    let remote_scale = args.remote_scale();
+    let threads = args.thread_count();
 
     println!(
         "# NVM-checkpoints — full experiment suite ({}, {} rank-execution thread{})",
-        if quick {
+        if args.quick {
             "quick preset"
         } else {
             "paper preset"
@@ -137,14 +128,25 @@ fn main() {
     write_json("ext_wear_leveling", &wear);
     write_json("ext_energy", &energy);
 
-    if let Some(path) = trace_path {
+    if let Some(path) = &args.trace {
         let (events, summary) = tracing::run(&scale);
-        match tracing::export(&events, &path) {
+        match tracing::export(&events, path) {
             Ok(()) => {
-                tracing::render(&summary, &path).print();
+                tracing::render(&summary, path).print();
                 write_json("trace_summary", &summary);
             }
             Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+    }
+
+    if let Some(path) = &args.metrics {
+        let report = metrics::run(&scale);
+        match metrics::export(&report, path) {
+            Ok(prom) => {
+                metrics::render(&report, path).print();
+                println!("Prometheus exposition written to {prom}.");
+            }
+            Err(e) => eprintln!("failed to write metrics to {path}: {e}"),
         }
     }
 

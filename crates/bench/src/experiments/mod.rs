@@ -11,6 +11,7 @@ pub mod fig4;
 pub mod fig9;
 pub mod local;
 pub mod madbench;
+pub mod metrics;
 pub mod model_val;
 pub mod scaling;
 pub mod table1;

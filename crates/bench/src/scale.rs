@@ -69,18 +69,11 @@ impl Scale {
         }
     }
 
-    /// Pick a preset from process args: `--quick` selects the small
-    /// one, `--threads N` (or `--threads=N`) sets the rank-execution
-    /// worker count.
+    /// Pick a preset from process args (strict: unknown flags abort
+    /// with usage). `--quick` selects the small preset, `--threads N`
+    /// sets the rank-execution worker count.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let mut scale = if args.iter().any(|a| a == "--quick") {
-            Self::quick()
-        } else {
-            Self::paper()
-        };
-        scale.threads = threads_from(&args);
-        scale
+        RunArgs::from_env().scale()
     }
 
     /// Override the worker-thread count (builder style).
@@ -102,44 +95,113 @@ impl Scale {
     }
 }
 
-/// Parse `--threads N` / `--threads=N` out of an argument list
-/// (defaults to 1; invalid values are ignored rather than fatal).
-pub fn threads_from(args: &[String]) -> usize {
-    let mut threads = 1;
-    for (i, arg) in args.iter().enumerate() {
-        if arg == "--threads" {
-            if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-                threads = n;
-            }
-        } else if let Some(v) = arg.strip_prefix("--threads=") {
-            if let Ok(n) = v.parse() {
-                threads = n;
-            }
-        }
-    }
-    threads.max(1)
+/// Command-line arguments shared by every experiment binary, parsed
+/// strictly: an unknown flag, a missing value, or an invalid value is
+/// an error rather than a silently-applied default. This replaces the
+/// three lenient ad-hoc scanners (`--quick` substring check,
+/// `threads_from`, `trace_from`) that each binary previously combined
+/// by hand.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunArgs {
+    /// `--quick`: run the reduced CI-friendly presets.
+    pub quick: bool,
+    /// `--threads N` / `--threads=N`: rank-execution worker threads
+    /// (`None` = serial; results are bit-identical either way).
+    pub threads: Option<usize>,
+    /// `--trace PATH` / `--trace=PATH`: write the merged event stream
+    /// to PATH (`.jsonl` for line-delimited JSON, anything else for
+    /// Chrome `trace_event` JSON).
+    pub trace: Option<String>,
+    /// `--metrics PATH` / `--metrics=PATH`: write the metrics report
+    /// to PATH as stable-ordered JSON, plus Prometheus text exposition
+    /// alongside it.
+    pub metrics: Option<String>,
 }
 
-/// Parse `--trace PATH` / `--trace=PATH` out of an argument list
-/// (`None` when absent). The path's extension picks the export format:
-/// `.jsonl` for line-delimited JSON, anything else for Chrome
-/// `trace_event` JSON.
-pub fn trace_from(args: &[String]) -> Option<String> {
-    let mut path = None;
-    for (i, arg) in args.iter().enumerate() {
-        if arg == "--trace" {
-            if let Some(p) = args.get(i + 1) {
-                if !p.starts_with("--") {
-                    path = Some(p.clone());
+/// Usage string printed when strict parsing fails.
+pub const USAGE: &str = "usage: [--quick] [--threads N] [--trace PATH] [--metrics PATH]";
+
+impl RunArgs {
+    /// Parse an argument list (`args[0]` is the binary name and is
+    /// skipped). Errors carry a human-readable message; callers add
+    /// [`USAGE`].
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = RunArgs::default();
+        let mut it = args.iter().skip(1);
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v.to_string())),
+                None => (arg.as_str(), None),
+            };
+            let value = |it: &mut dyn Iterator<Item = &String>| -> Result<String, String> {
+                match inline.clone() {
+                    Some(v) if !v.is_empty() => Ok(v),
+                    Some(_) => Err(format!("{flag} requires a value")),
+                    None => it
+                        .next()
+                        .filter(|v| !v.starts_with("--"))
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value")),
                 }
+            };
+            match flag {
+                "--quick" if inline.is_none() => out.quick = true,
+                "--threads" => {
+                    let v = value(&mut it)?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid --threads value {v:?}"))?;
+                    if n == 0 {
+                        return Err("--threads must be >= 1".to_string());
+                    }
+                    out.threads = Some(n);
+                }
+                "--trace" => out.trace = Some(value(&mut it)?),
+                "--metrics" => out.metrics = Some(value(&mut it)?),
+                other => return Err(format!("unknown argument {other:?}")),
             }
-        } else if let Some(p) = arg.strip_prefix("--trace=") {
-            if !p.is_empty() {
-                path = Some(p.to_string());
+        }
+        Ok(out)
+    }
+
+    /// Parse the process arguments; on error print the message plus
+    /// [`USAGE`] to stderr and exit with status 2.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match Self::parse(&args) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                std::process::exit(2);
             }
         }
     }
-    path
+
+    /// Worker-thread count (1 when `--threads` was not given).
+    pub fn thread_count(&self) -> usize {
+        self.threads.unwrap_or(1)
+    }
+
+    /// The local-cluster scale these arguments select.
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::quick()
+        } else {
+            Scale::paper()
+        }
+        .with_threads(self.thread_count())
+    }
+
+    /// The remote-checkpoint scale these arguments select (8 nodes at
+    /// paper scale).
+    pub fn remote_scale(&self) -> Scale {
+        if self.quick {
+            Scale::quick()
+        } else {
+            Scale::paper_remote()
+        }
+        .with_threads(self.thread_count())
+    }
 }
 
 #[cfg(test)]
@@ -159,33 +221,63 @@ mod tests {
         assert_eq!(q.with_threads(0).threads, 1);
     }
 
-    #[test]
-    fn threads_arg_parsing() {
-        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(threads_from(&to_args(&["bin"])), 1);
-        assert_eq!(threads_from(&to_args(&["bin", "--threads", "8"])), 8);
-        assert_eq!(
-            threads_from(&to_args(&["bin", "--threads=4", "--quick"])),
-            4
-        );
-        assert_eq!(threads_from(&to_args(&["bin", "--threads", "zero"])), 1);
-        assert_eq!(threads_from(&to_args(&["bin", "--threads", "0"])), 1);
+    fn parse(v: &[&str]) -> Result<RunArgs, String> {
+        let args: Vec<String> = std::iter::once("bin")
+            .chain(v.iter().copied())
+            .map(|s| s.to_string())
+            .collect();
+        RunArgs::parse(&args)
     }
 
     #[test]
-    fn trace_arg_parsing() {
-        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(trace_from(&to_args(&["bin"])), None);
-        assert_eq!(
-            trace_from(&to_args(&["bin", "--trace", "out.json"])),
-            Some("out.json".to_string())
-        );
-        assert_eq!(
-            trace_from(&to_args(&["bin", "--trace=t.jsonl", "--quick"])),
-            Some("t.jsonl".to_string())
-        );
-        // A following flag is not a path.
-        assert_eq!(trace_from(&to_args(&["bin", "--trace", "--quick"])), None);
-        assert_eq!(trace_from(&to_args(&["bin", "--trace="])), None);
+    fn parses_defaults_and_all_flags() {
+        assert_eq!(parse(&[]).unwrap(), RunArgs::default());
+        let full = parse(&[
+            "--quick",
+            "--threads",
+            "8",
+            "--trace",
+            "t.jsonl",
+            "--metrics",
+            "m.json",
+        ])
+        .unwrap();
+        assert!(full.quick);
+        assert_eq!(full.thread_count(), 8);
+        assert_eq!(full.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(full.metrics.as_deref(), Some("m.json"));
+        // Inline `=` forms.
+        let inline = parse(&["--threads=4", "--metrics=out.json"]).unwrap();
+        assert_eq!(inline.threads, Some(4));
+        assert_eq!(inline.metrics.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn scale_selection_follows_flags() {
+        let quick = parse(&["--quick", "--threads", "3"]).unwrap();
+        assert_eq!(quick.scale().nodes, Scale::quick().nodes);
+        assert_eq!(quick.scale().threads, 3);
+        assert_eq!(quick.remote_scale().nodes, Scale::quick().nodes);
+        let paper = parse(&[]).unwrap();
+        assert_eq!(paper.scale().nodes, Scale::paper().nodes);
+        assert_eq!(paper.remote_scale().nodes, Scale::paper_remote().nodes);
+        assert_eq!(paper.scale().threads, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_flags() {
+        assert!(parse(&["--qick"]).unwrap_err().contains("unknown argument"));
+        assert!(parse(&["extra"]).unwrap_err().contains("unknown argument"));
+        assert!(parse(&["--threads"]).unwrap_err().contains("value"));
+        assert!(parse(&["--threads", "zero"])
+            .unwrap_err()
+            .contains("invalid"));
+        assert!(parse(&["--threads", "0"]).unwrap_err().contains(">= 1"));
+        assert!(parse(&["--trace", "--quick"])
+            .unwrap_err()
+            .contains("value"));
+        assert!(parse(&["--trace="]).unwrap_err().contains("value"));
+        assert!(parse(&["--metrics"]).unwrap_err().contains("value"));
+        assert!(parse(&["--quick=yes"]).unwrap_err().contains("unknown"));
     }
 }

@@ -35,6 +35,7 @@ use nvm_emu::{
     pages_for, DeviceError, MemoryDevice, RegionId, SimDuration, SimTime, VirtualClock, PAGE_SIZE,
 };
 use nvm_heap::{HeapError, Materialization, NvmHeap};
+use nvm_metrics::{names, Metrics};
 use nvm_paging::metadata::MetadataError;
 use nvm_paging::{ChunkId, MetadataRegion, Mmu};
 use nvm_trace::{TraceEventKind, Tracer};
@@ -123,6 +124,9 @@ pub struct CheckpointEngine {
     /// Event-stream handle; disabled (one branch per emission site) by
     /// default.
     tracer: Tracer,
+    /// Aggregate-metrics handle; disabled (one branch per update) by
+    /// default.
+    metrics: Metrics,
 }
 
 impl CheckpointEngine {
@@ -169,6 +173,7 @@ impl CheckpointEngine {
             stats: EngineStats::default(),
             log: Vec::new(),
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         })
     }
 
@@ -183,6 +188,18 @@ impl CheckpointEngine {
     /// The attached tracer (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attach a [`Metrics`] handle: faults, pre-copy volume, waste,
+    /// coordinated phases, and latency distributions record into it.
+    /// Pass [`Metrics::disabled`] to detach.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The attached metrics handle (disabled by default).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     #[inline]
@@ -303,6 +320,12 @@ impl CheckpointEngine {
             self.stats.fault_time += out.cost;
             if out.faults > 0 {
                 self.trace(TraceEventKind::ProtectionFault { chunk: id.0 });
+                self.metrics
+                    .counter_add(names::CHKPT_FAULTS_TOTAL, out.faults as u64);
+                self.metrics
+                    .counter_add(names::CHKPT_FAULT_TIME_NS_TOTAL, out.cost.as_nanos());
+                self.metrics
+                    .observe(names::CHKPT_FAULT_NS, out.cost.as_nanos());
             }
             self.predictor.record_modification(id);
             if self.precopy_done.remove(&id) {
@@ -311,6 +334,8 @@ impl CheckpointEngine {
                 self.stats.wasted_precopy_bytes += chunk_len as u64;
                 self.epoch_wasted += chunk_len as u64;
                 self.trace(TraceEventKind::PrecopyWaste { chunk: id.0 });
+                self.metrics
+                    .counter_add(names::CHKPT_WASTED_PRECOPY_BYTES_TOTAL, chunk_len as u64);
             }
         }
         self.clock.advance(total);
@@ -349,6 +374,10 @@ impl CheckpointEngine {
             let copied_time = self.run_precopy(window);
             interference = copied_time * self.config.precopy_interference;
             self.stats.interference_time += interference;
+            self.metrics.counter_add(
+                names::CHKPT_INTERFERENCE_TIME_NS_TOTAL,
+                interference.as_nanos(),
+            );
         }
         self.clock.advance(dur + interference);
     }
@@ -403,6 +432,8 @@ impl CheckpointEngine {
             spent += cost;
             self.stats.precopied_bytes += len;
             self.epoch_precopied += len;
+            self.metrics
+                .counter_add(names::CHKPT_PRECOPIED_BYTES_TOTAL, len);
             self.mmu.protect_after_precopy(id);
             self.precopy_done.insert(id);
             self.trace(TraceEventKind::PrecopyDrain {
@@ -569,6 +600,17 @@ impl CheckpointEngine {
         self.stats.coordinated_bytes += coordinated_bytes;
         self.stats.skipped_bytes += skipped_bytes;
         self.stats.coordinated_time += coordinated_time;
+        self.metrics.counter_add(names::CHKPT_CHECKPOINTS_TOTAL, 1);
+        self.metrics
+            .counter_add(names::CHKPT_COORDINATED_BYTES_TOTAL, coordinated_bytes);
+        self.metrics
+            .counter_add(names::CHKPT_SKIPPED_BYTES_TOTAL, skipped_bytes);
+        self.metrics.counter_add(
+            names::CHKPT_COORDINATED_TIME_NS_TOTAL,
+            coordinated_time.as_nanos(),
+        );
+        self.metrics
+            .observe(names::CHKPT_COORDINATED_NS, coordinated_time.as_nanos());
 
         self.epoch += 1;
         self.interval_start = now;
@@ -622,6 +664,8 @@ impl CheckpointEngine {
         }
         self.precopy_done.remove(&id);
         self.stats.coordinated_bytes += len;
+        self.metrics
+            .counter_add(names::CHKPT_COORDINATED_BYTES_TOTAL, len);
         Ok(self.clock.now().since(t0))
     }
 
@@ -788,6 +832,7 @@ impl CheckpointEngine {
                 stats,
                 log: Vec::new(),
                 tracer,
+                metrics: Metrics::disabled(),
             },
             report,
         ))
@@ -1537,6 +1582,76 @@ mod tests {
         // Timestamps are monotone non-decreasing on one engine's clock.
         let ts: Vec<u64> = sink.snapshot().iter().map(|ev| ev.t_ns).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn metrics_mirror_engine_stats() {
+        let (mut e, ..) = setup(EngineConfig::default().with_precopy(PrecopyPolicy::Cpc));
+        let m = Metrics::new();
+        e.set_metrics(m.clone());
+
+        let id = e.nvmalloc("x", 64 * 1024, true).unwrap();
+        e.write(id, 0, &[7u8; 64 * 1024]).unwrap();
+        e.compute(SimDuration::from_secs(1)); // CPC pre-copy drains it
+        e.write(id, 0, &[8u8; 64 * 1024]).unwrap(); // fault + waste
+        e.nvchkptall().unwrap();
+
+        let snap = m.registry().snapshot();
+        let s = e.stats();
+        assert_eq!(snap.counter(names::CHKPT_CHECKPOINTS_TOTAL), s.checkpoints);
+        assert_eq!(snap.counter(names::CHKPT_FAULTS_TOTAL), s.faults);
+        assert_eq!(
+            snap.counter(names::CHKPT_PRECOPIED_BYTES_TOTAL),
+            s.precopied_bytes
+        );
+        assert_eq!(
+            snap.counter(names::CHKPT_COORDINATED_BYTES_TOTAL),
+            s.coordinated_bytes
+        );
+        assert_eq!(
+            snap.counter(names::CHKPT_SKIPPED_BYTES_TOTAL),
+            s.skipped_bytes
+        );
+        assert_eq!(
+            snap.counter(names::CHKPT_WASTED_PRECOPY_BYTES_TOTAL),
+            s.wasted_precopy_bytes
+        );
+        assert_eq!(
+            snap.counter(names::CHKPT_COORDINATED_TIME_NS_TOTAL),
+            s.coordinated_time.as_nanos()
+        );
+        assert_eq!(
+            snap.counter(names::CHKPT_FAULT_TIME_NS_TOTAL),
+            s.fault_time.as_nanos()
+        );
+        assert_eq!(
+            snap.counter(names::CHKPT_INTERFERENCE_TIME_NS_TOTAL),
+            s.interference_time.as_nanos()
+        );
+        // Latency distributions carry exact maxima.
+        let coord = snap.histogram(names::CHKPT_COORDINATED_NS).unwrap();
+        assert_eq!(coord.count, s.checkpoints);
+        let fault = snap.histogram(names::CHKPT_FAULT_NS).unwrap();
+        assert_eq!(fault.count, s.faults);
+        assert_eq!(fault.sum, s.fault_time.as_nanos());
+    }
+
+    #[test]
+    fn disabled_metrics_change_nothing() {
+        let run = |instrumented: bool| {
+            let (mut e, _, _, clock) = setup(EngineConfig::default());
+            if instrumented {
+                e.set_metrics(Metrics::new());
+            }
+            let id = e.nvmalloc("x", 4096, true).unwrap();
+            for i in 0..3u8 {
+                e.write(id, 0, &[i; 4096]).unwrap();
+                e.compute(SimDuration::from_millis(100));
+                e.nvchkptall().unwrap();
+            }
+            clock.now().as_nanos()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

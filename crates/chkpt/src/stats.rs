@@ -30,6 +30,39 @@ pub struct EngineStats {
     pub restarts: u64,
 }
 
+/// Field-exhaustive accumulation: the destructuring has no `..`, so a
+/// field added to [`EngineStats`] is a compile error here until the
+/// aggregation handles it — the cluster coordinator's totals can no
+/// longer silently drop a field (as the old field-by-field summation
+/// did with `restarts`). This also provides
+/// [`nvm_metrics::MergeStats`] via its blanket impl.
+impl std::ops::AddAssign<&EngineStats> for EngineStats {
+    fn add_assign(&mut self, rhs: &EngineStats) {
+        let EngineStats {
+            checkpoints,
+            precopied_bytes,
+            coordinated_bytes,
+            skipped_bytes,
+            wasted_precopy_bytes,
+            coordinated_time,
+            interference_time,
+            fault_time,
+            faults,
+            restarts,
+        } = *rhs;
+        self.checkpoints += checkpoints;
+        self.precopied_bytes += precopied_bytes;
+        self.coordinated_bytes += coordinated_bytes;
+        self.skipped_bytes += skipped_bytes;
+        self.wasted_precopy_bytes += wasted_precopy_bytes;
+        self.coordinated_time += coordinated_time;
+        self.interference_time += interference_time;
+        self.fault_time += fault_time;
+        self.faults += faults;
+        self.restarts += restarts;
+    }
+}
+
 impl EngineStats {
     /// All bytes moved to NVM for checkpointing.
     pub fn total_copied_bytes(&self) -> u64 {
@@ -85,6 +118,37 @@ mod tests {
     fn precopy_fraction_handles_zero() {
         let s = EngineStats::default();
         assert_eq!(s.precopy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_merges_every_field() {
+        use nvm_emu::SimDuration;
+        // One distinct value per field: if any field were dropped from
+        // the merge, the corresponding assertion below would fail.
+        let a = EngineStats {
+            checkpoints: 1,
+            precopied_bytes: 2,
+            coordinated_bytes: 3,
+            skipped_bytes: 4,
+            wasted_precopy_bytes: 5,
+            coordinated_time: SimDuration::from_nanos(6),
+            interference_time: SimDuration::from_nanos(7),
+            fault_time: SimDuration::from_nanos(8),
+            faults: 9,
+            restarts: 10,
+        };
+        let mut total = a;
+        total += &a;
+        assert_eq!(total.checkpoints, 2);
+        assert_eq!(total.precopied_bytes, 4);
+        assert_eq!(total.coordinated_bytes, 6);
+        assert_eq!(total.skipped_bytes, 8);
+        assert_eq!(total.wasted_precopy_bytes, 10);
+        assert_eq!(total.coordinated_time, SimDuration::from_nanos(12));
+        assert_eq!(total.interference_time, SimDuration::from_nanos(14));
+        assert_eq!(total.fault_time, SimDuration::from_nanos(16));
+        assert_eq!(total.faults, 18);
+        assert_eq!(total.restarts, 20);
     }
 
     #[test]

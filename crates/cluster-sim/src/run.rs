@@ -32,6 +32,7 @@ use crate::failure::{FailureConfig, FailureKind, FailureSchedule};
 use crate::schedule::{Activity, ScheduleTrace};
 use nvm_chkpt::{CheckpointEngine, EngineConfig, EngineError, EngineStats, EpochReport};
 use nvm_emu::{BandwidthModel, MemoryDevice, SimDuration, SimTime, VirtualClock};
+use nvm_metrics::{names, MergeStats, Metrics, MetricsRegistry, MetricsReport};
 use nvm_trace::{BufferSink, TraceEvent, TraceEventKind, Tracer};
 use rdma_sim::armci::RemoteError;
 use rdma_sim::{HelperParams, HelperProcess, HelperStats, Link, RemoteStore, UsageTrace};
@@ -103,6 +104,13 @@ pub struct ClusterConfig {
     /// order into [`RunResult::trace`], so the trace is bit-identical
     /// for serial and multi-threaded execution.
     pub trace: bool,
+    /// Collect aggregate metrics. Each rank's engine records into a
+    /// private registry and each node's devices/helper into a per-node
+    /// registry (commutative updates only); the coordinator merges
+    /// rank registries in rank order, then node registries in node
+    /// order, into [`RunResult::metrics`] — bit-identical for serial
+    /// and multi-threaded execution.
+    pub metrics: bool,
 }
 
 impl ClusterConfig {
@@ -127,6 +135,7 @@ impl ClusterConfig {
             failure_horizon: SimDuration::from_secs(86_400),
             threads: 1,
             trace: false,
+            metrics: false,
         }
     }
 
@@ -139,6 +148,12 @@ impl ClusterConfig {
     /// Enable or disable event-trace collection (builder style).
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Enable or disable aggregate-metrics collection (builder style).
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -205,6 +220,9 @@ pub struct RunResult {
     /// Merged event trace in `(time, rank)` order; empty unless
     /// [`ClusterConfig::trace`] is set.
     pub trace: Vec<TraceEvent>,
+    /// Merged metrics report (raw snapshot + derived paper metrics);
+    /// `None` unless [`ClusterConfig::metrics`] is set.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl RunResult {
@@ -231,6 +249,9 @@ struct Rank {
     /// Private event buffer; engine events land here via the tracer so
     /// parallel ranks never contend on (or reorder) a shared stream.
     sink: Option<Arc<BufferSink>>,
+    /// Private metrics registry (disabled unless
+    /// [`ClusterConfig::metrics`]); merged in rank order at the end.
+    metrics: Metrics,
 }
 
 // The worker pool moves `&mut Rank` across scoped threads; everything
@@ -302,6 +323,10 @@ struct NodeDevices {
     /// Checkpoint flows in flight: (ends_at, rate bytes/s) — they
     /// contend with application communication until they drain.
     flows: Vec<(SimTime, f64)>,
+    /// Shared registry for this node's devices and helper. Safe to
+    /// share across concurrently-executing ranks because every update
+    /// is commutative; merged in node order at the end.
+    metrics: Metrics,
 }
 
 impl NodeDevices {
@@ -323,6 +348,8 @@ pub struct ClusterSim {
     ranks: Vec<Vec<Rank>>, // [node][rank]
     nodes: Vec<NodeDevices>,
     stores: Vec<RemoteStore>, // stores[i] holds node i's data (on buddy NVM)
+    /// Barrier synchronisations executed (coordinator-side counter).
+    barriers: u64,
 }
 
 impl ClusterSim {
@@ -360,6 +387,18 @@ impl ClusterSim {
         let mut stores = Vec::new();
         for n in 0..config.nodes {
             let mut node_ranks = Vec::new();
+            let node_metrics = if config.metrics {
+                let m = Metrics::new();
+                // Devices are shared by this node's ranks; counter adds
+                // are commutative, so a shared registry stays
+                // deterministic under parallel rank execution. Attach
+                // before building ranks so setup charges are counted.
+                nvms[n].set_metrics(m.clone());
+                drams[n].set_metrics(m.clone());
+                m
+            } else {
+                Metrics::disabled()
+            };
             for r in 0..config.ranks_per_node {
                 let global = (n * config.ranks_per_node + r) as u64;
                 let clock = VirtualClock::new();
@@ -380,19 +419,30 @@ impl ClusterSim {
                 } else {
                     None
                 };
+                let metrics = if config.metrics {
+                    let m = Metrics::new();
+                    engine.set_metrics(m.clone());
+                    m
+                } else {
+                    Metrics::disabled()
+                };
                 node_ranks.push(Rank {
                     global,
                     clock,
                     engine,
                     workload,
                     sink,
+                    metrics,
                 });
             }
             ranks.push(node_ranks);
+            let mut helper = HelperProcess::with_params(helper_params);
+            helper.set_metrics(node_metrics.clone());
             nodes.push(NodeDevices {
                 link: Link::new(link_bw),
-                helper: HelperProcess::with_params(helper_params),
+                helper,
                 flows: Vec::new(),
+                metrics: node_metrics,
             });
             let buddy = (n + 1) % config.nodes;
             stores.push(RemoteStore::new(&nvms[buddy], false));
@@ -402,6 +452,7 @@ impl ClusterSim {
             ranks,
             nodes,
             stores,
+            barriers: 0,
         })
     }
 
@@ -415,6 +466,7 @@ impl ClusterSim {
     }
 
     fn barrier(&mut self) -> SimTime {
+        self.barriers += 1;
         let t = self.max_time();
         for r in self.ranks.iter().flatten() {
             r.clock.advance_to(t);
@@ -431,6 +483,14 @@ impl ClusterSim {
         // end.
         let mut coord: Vec<TraceEvent> = Vec::new();
         let tracing = self.config.trace;
+        // Coordinator-side metrics (comm stalls, barrier count, link
+        // peaks) — recorded only from the serial coordinator loop, so
+        // observation order is the same at any thread count.
+        let coord_metrics = if self.config.metrics {
+            Metrics::new()
+        } else {
+            Metrics::disabled()
+        };
         let mut failures = match &self.config.failures {
             Some(cfg) => FailureSchedule::generate(
                 cfg,
@@ -567,6 +627,8 @@ impl ClusterSim {
                                     }
                                 }
                                 rank.clock.advance(delay);
+                                coord_metrics
+                                    .observe(names::CLUSTER_COMM_STALL_NS, delay.as_nanos());
                                 if n == 0 && rank.global == 0 {
                                     trace.record(
                                         Activity::Blocked,
@@ -727,19 +789,43 @@ impl ClusterSim {
         } else {
             Vec::new()
         };
-        let mut engine_stats = EngineStats::default();
-        for r in self.ranks.iter().flatten() {
-            let s = r.engine.stats();
-            engine_stats.checkpoints += s.checkpoints;
-            engine_stats.precopied_bytes += s.precopied_bytes;
-            engine_stats.coordinated_bytes += s.coordinated_bytes;
-            engine_stats.skipped_bytes += s.skipped_bytes;
-            engine_stats.wasted_precopy_bytes += s.wasted_precopy_bytes;
-            engine_stats.coordinated_time += s.coordinated_time;
-            engine_stats.interference_time += s.interference_time;
-            engine_stats.fault_time += s.fault_time;
-            engine_stats.faults += s.faults;
+        // Merge per-rank stats in rank order. `MergeStats` rides on the
+        // exhaustively-destructuring `AddAssign` impl, so adding a field
+        // to `EngineStats` is a compile error here rather than a
+        // silently-dropped statistic (the old hand-rolled summation
+        // lost `restarts`).
+        let rank_stats: Vec<EngineStats> = self
+            .ranks
+            .iter()
+            .flatten()
+            .map(|r| r.engine.stats())
+            .collect();
+        let engine_stats = EngineStats::merged(rank_stats.iter());
+
+        coord_metrics.counter_add(names::CLUSTER_BARRIERS_TOTAL, self.barriers);
+        for n in &self.nodes {
+            coord_metrics.gauge_max(
+                names::LINK_PEAK_BYTES_PER_S,
+                n.link.trace().peak_bytes() as i64,
+            );
         }
+        // Merge order is fixed — ranks in rank order, then nodes in node
+        // order, then the coordinator — so the report is bit-identical
+        // at any thread count.
+        let metrics = if self.config.metrics {
+            let mut reg = MetricsRegistry::new();
+            for r in self.ranks.iter().flatten() {
+                r.metrics.merge_into(&mut reg);
+            }
+            for n in &self.nodes {
+                n.metrics.merge_into(&mut reg);
+            }
+            coord_metrics.merge_into(&mut reg);
+            Some(MetricsReport::new(reg.snapshot()))
+        } else {
+            None
+        };
+
         Ok(RunResult {
             total_time,
             iterations_executed: executed,
@@ -760,6 +846,7 @@ impl ClusterSim {
             schedule: trace,
             checkpoint_bytes_per_rank: d_per_rank,
             trace: merged_trace,
+            metrics,
         })
     }
 
@@ -1035,6 +1122,73 @@ mod tests {
             nvm_trace::to_jsonl(&serial.trace),
             nvm_trace::to_jsonl(&parallel.trace)
         );
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_and_parity() {
+        let plain = ClusterSim::new(small_config(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(plain.metrics.is_none());
+        let metered = ClusterSim::new(small_config().with_metrics(true), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        // Metering must not perturb the simulation itself.
+        assert_eq!(plain.total_time, metered.total_time);
+        assert_eq!(plain.engine_stats, metered.engine_stats);
+    }
+
+    #[test]
+    fn metrics_bit_identical_serial_vs_parallel() {
+        let mut cfg = small_config().with_metrics(true);
+        cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+        let serial = ClusterSim::new(cfg.clone(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        let parallel = ClusterSim::new(cfg.with_threads(4), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        let a = serde_json::to_string(&serial.metrics.unwrap()).unwrap();
+        let b = serde_json::to_string(&parallel.metrics.unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_agree_with_merged_stats() {
+        let mut cfg = small_config().with_metrics(true);
+        cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let snap = &r.metrics.as_ref().unwrap().snapshot;
+        let es = &r.engine_stats;
+        assert_eq!(snap.counter(names::CHKPT_CHECKPOINTS_TOTAL), es.checkpoints);
+        assert_eq!(
+            snap.counter(names::CHKPT_COORDINATED_BYTES_TOTAL),
+            es.coordinated_bytes
+        );
+        assert_eq!(
+            snap.counter(names::CHKPT_PRECOPIED_BYTES_TOTAL),
+            es.precopied_bytes
+        );
+        assert_eq!(
+            snap.counter(names::CHKPT_SKIPPED_BYTES_TOTAL),
+            es.skipped_bytes
+        );
+        assert_eq!(snap.counter(names::CHKPT_FAULTS_TOTAL), es.faults);
+        let hs = HelperStats::merged(r.helper_stats.iter());
+        assert_eq!(
+            snap.counter(names::HELPER_BYTES_COPIED_TOTAL),
+            hs.bytes_copied
+        );
+        assert_eq!(snap.counter(names::HELPER_COPY_OPS_TOTAL), hs.copy_ops);
+        assert!(snap.counter(names::CLUSTER_BARRIERS_TOTAL) > 0);
+        assert!(snap.gauge(names::LINK_PEAK_BYTES_PER_S) > 0);
+        let d = &r.metrics.as_ref().unwrap().derived;
+        assert!(d.precopy_fraction > 0.0 && d.precopy_fraction <= 1.0);
+        assert!(d.effective_nvm_bandwidth_bytes_per_s > 0.0);
     }
 
     #[test]

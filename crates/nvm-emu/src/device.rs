@@ -25,6 +25,7 @@ use crate::error::DeviceError;
 use crate::params::{DeviceKind, DeviceParams};
 use crate::time::{SimDuration, VirtualClock};
 use crate::{pages_for, PAGE_SIZE};
+use nvm_metrics::{names, Metrics};
 use nvm_trace::{TraceEventKind, Tracer};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -111,6 +112,18 @@ struct DeviceTracer {
     clock: VirtualClock,
 }
 
+/// Metrics attachment for a device, with the per-kind metric names
+/// resolved once at attach time so the charge path never formats or
+/// matches strings. Counter adds are commutative, so unlike a tracer a
+/// metrics handle may be attached to a device shared by
+/// concurrently-executing ranks without breaking determinism.
+struct DeviceMetrics {
+    metrics: Metrics,
+    read_bytes: &'static str,
+    write_bytes: &'static str,
+    busy_ns: &'static str,
+}
+
 struct Inner {
     params: DeviceParams,
     model: BandwidthModel,
@@ -123,6 +136,8 @@ struct Inner {
     strict_endurance: bool,
     /// Optional charge tracing; `None` (the default) costs one branch.
     tracer: Option<DeviceTracer>,
+    /// Optional charge metrics; `None` (the default) costs one branch.
+    metrics: Option<DeviceMetrics>,
 }
 
 /// An emulated DRAM or NVM device. Cloning yields another handle to the
@@ -156,6 +171,7 @@ impl MemoryDevice {
                 stats: DeviceStats::default(),
                 strict_endurance: false,
                 tracer: None,
+                metrics: None,
             })),
         }
     }
@@ -199,6 +215,32 @@ impl MemoryDevice {
     /// Detach any tracer attached with [`MemoryDevice::set_tracer`].
     pub fn clear_tracer(&self) {
         self.inner.lock().tracer = None;
+    }
+
+    /// Attach a metrics handle: every subsequent read/write/flush
+    /// charge adds to `dev_<kind>_{read,write}_bytes_total` and
+    /// `dev_<kind>_busy_ns_total`. Counter updates are commutative, so
+    /// this is safe on a device shared by concurrent ranks (unlike
+    /// [`MemoryDevice::set_tracer`]).
+    pub fn set_metrics(&self, metrics: Metrics) {
+        let mut g = self.inner.lock();
+        let kind = g.params.kind.name();
+        g.metrics = if metrics.enabled() {
+            Some(DeviceMetrics {
+                metrics,
+                read_bytes: names::device_read_bytes_total(kind),
+                write_bytes: names::device_write_bytes_total(kind),
+                busy_ns: names::device_busy_ns_total(kind),
+            })
+        } else {
+            None
+        };
+    }
+
+    /// Detach any metrics handle attached with
+    /// [`MemoryDevice::set_metrics`].
+    pub fn clear_metrics(&self) {
+        self.inner.lock().metrics = None;
     }
 
     /// Device parameter block.
@@ -393,6 +435,9 @@ impl MemoryDevice {
         g.stats.flush_ops += 1;
         g.stats.busy += cost;
         g.trace_charge("flush", len as u64, cost);
+        if let Some(dm) = &g.metrics {
+            dm.metrics.counter_add(dm.busy_ns, cost.as_nanos());
+        }
         Ok(cost)
     }
 
@@ -475,6 +520,10 @@ impl Inner {
             .energy
             .charge_write(len as u64, params.write_energy_pj_per_bit);
         self.trace_charge("write", len as u64, cost);
+        if let Some(dm) = &self.metrics {
+            dm.metrics.counter_add(dm.write_bytes, len as u64);
+            dm.metrics.counter_add(dm.busy_ns, cost.as_nanos());
+        }
         Ok(cost)
     }
 
@@ -490,6 +539,10 @@ impl Inner {
         self.stats.read_ops += 1;
         self.stats.busy += cost;
         self.trace_charge("read", len as u64, cost);
+        if let Some(dm) = &self.metrics {
+            dm.metrics.counter_add(dm.read_bytes, len as u64);
+            dm.metrics.counter_add(dm.busy_ns, cost.as_nanos());
+        }
         cost
     }
 
@@ -733,6 +786,47 @@ mod tests {
         d.set_tracer(Tracer::disabled(), clock.clone());
         d.flush(r, 64).unwrap();
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn attached_metrics_mirror_device_stats() {
+        let d = MemoryDevice::pcm(MB);
+        let m = Metrics::new();
+        d.set_metrics(m.clone());
+        let r = d.alloc(4096).unwrap();
+        d.write(r, 0, &[1; 4096], 1).unwrap();
+        let mut buf = vec![0u8; 1024];
+        d.read(r, 0, &mut buf, 1).unwrap();
+        d.flush(r, 4096).unwrap();
+        let snap = m.registry().snapshot();
+        let s = d.stats();
+        assert_eq!(snap.counter("dev_pcm_write_bytes_total"), s.bytes_written);
+        assert_eq!(snap.counter("dev_pcm_read_bytes_total"), s.bytes_read);
+        assert_eq!(snap.counter("dev_pcm_busy_ns_total"), s.busy.as_nanos());
+
+        // Commutative counter adds: a device shared by threads ends up
+        // with the same totals regardless of interleaving.
+        let before = m.registry().snapshot().counter("dev_pcm_write_bytes_total");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let d = d.clone();
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        d.write(r, 0, &[2; 512], 1).unwrap();
+                    }
+                });
+            }
+        });
+        let after = m.registry().snapshot().counter("dev_pcm_write_bytes_total");
+        assert_eq!(after - before, 4 * 8 * 512);
+
+        // Detaching stops recording.
+        d.clear_metrics();
+        d.write(r, 0, &[3; 64], 1).unwrap();
+        assert_eq!(
+            m.registry().snapshot().counter("dev_pcm_write_bytes_total"),
+            after
+        );
     }
 
     #[test]

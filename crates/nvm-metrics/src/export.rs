@@ -1,0 +1,162 @@
+//! Exporters: Prometheus text exposition and stable JSON.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Render a snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Metric families appear in name order; histograms
+/// emit cumulative `_bucket{le=...}` series plus `_sum` and `_count`,
+/// with a final `le="+Inf"` bucket. Output is deterministic: same
+/// snapshot → same bytes.
+pub fn to_prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (upper, count) in &h.buckets {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Minimal structural validation of Prometheus text: every non-comment
+/// line must be `name[{labels}] value` with a numeric value, every
+/// series must be preceded by a `# TYPE` declaration for its family,
+/// and histogram families must end with an `+Inf` bucket and matching
+/// `_count`. Returns the number of samples on success. This is the
+/// check CI runs on the exported file.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without name", lineno + 1))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without kind", lineno + 1))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {}: unknown metric kind {kind}", lineno + 1));
+            }
+            declared.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line}", lineno + 1))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: non-numeric value {value}", lineno + 1))?;
+        let base = series.split('{').next().unwrap_or(series);
+        let family = base
+            .strip_suffix("_bucket")
+            .or_else(|| base.strip_suffix("_sum"))
+            .or_else(|| base.strip_suffix("_count"))
+            .filter(|f| declared.iter().any(|d| d == f))
+            .unwrap_or(base);
+        if !declared.iter().any(|d| d == family) {
+            return Err(format!(
+                "line {}: series {series} has no # TYPE declaration",
+                lineno + 1
+            ));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples".to_string());
+    }
+    Ok(samples)
+}
+
+/// Reconstruct a cumulative-bucket view (as Prometheus would scrape
+/// it) from a snapshot histogram — used by tests to cross-check the
+/// text renderer.
+pub fn cumulative_buckets(h: &HistogramSnapshot) -> Vec<(u64, u64)> {
+    let mut cumulative = 0u64;
+    h.buckets
+        .iter()
+        .map(|&(upper, count)| {
+            cumulative += count;
+            (upper, cumulative)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("chkpt_faults_total", 3);
+        r.gauge_max("link_peak_bytes_per_s", 1024);
+        r.observe("chkpt_fault_ns", 100);
+        r.observe("chkpt_fault_ns", 5000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_validation() {
+        let text = to_prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE chkpt_faults_total counter"));
+        assert!(text.contains("chkpt_faults_total 3"));
+        assert!(text.contains("# TYPE link_peak_bytes_per_s gauge"));
+        assert!(text.contains("# TYPE chkpt_fault_ns histogram"));
+        assert!(text.contains("chkpt_fault_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("chkpt_fault_ns_sum 5100"));
+        assert!(text.contains("chkpt_fault_ns_count 2"));
+        let samples = validate_prometheus_text(&text).expect("renderer output must validate");
+        // 1 counter + 1 gauge + (2 buckets + Inf + sum + count).
+        assert_eq!(samples, 7);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let snap = sample_snapshot();
+        let h = snap.histogram("chkpt_fault_ns").unwrap();
+        let cum = cumulative_buckets(h);
+        assert_eq!(cum, vec![(127, 1), (8191, 2)]);
+        let text = to_prometheus_text(&snap);
+        assert!(text.contains("chkpt_fault_ns_bucket{le=\"127\"} 1"));
+        assert!(text.contains("chkpt_fault_ns_bucket{le=\"8191\"} 2"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_prometheus_text("").is_err());
+        assert!(validate_prometheus_text("no_type_decl 1\n").is_err());
+        assert!(validate_prometheus_text("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(validate_prometheus_text("# TYPE x widget\nx 1\n").is_err());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = to_prometheus_text(&sample_snapshot());
+        let b = to_prometheus_text(&sample_snapshot());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,72 @@
+//! Exhaustive stat merging.
+//!
+//! The cluster coordinator used to sum stat structs field by field at
+//! the aggregation site; a field added to the struct was silently
+//! dropped from the cluster totals (this actually happened:
+//! `EngineStats::restarts` never reached the aggregate). `MergeStats`
+//! moves the combination next to the struct definition, where impls
+//! are written with *exhaustive destructuring* — no `..` — so adding a
+//! field is a compile error until the merge handles it.
+
+use std::ops::AddAssign;
+
+/// Fold a per-rank/per-node stat struct into a running total.
+///
+/// Implementors must combine **every** field; write the impl by
+/// destructuring `other` without `..` so the compiler enforces that.
+/// The blanket impl covers any stat struct with a field-exhaustive
+/// `AddAssign`.
+pub trait MergeStats {
+    /// Combine `other` into `self`.
+    fn merge_stats(&mut self, other: &Self);
+
+    /// Merge an ordered sequence into a fresh default — the coordinator
+    /// calls this over ranks in rank order.
+    fn merged<'a, I>(items: I) -> Self
+    where
+        Self: Default + 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        let mut total = Self::default();
+        for item in items {
+            total.merge_stats(item);
+        }
+        total
+    }
+}
+
+impl<T: for<'a> AddAssign<&'a T>> MergeStats for T {
+    fn merge_stats(&mut self, other: &Self) {
+        *self += other;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default, PartialEq, Clone)]
+    struct Demo {
+        a: u64,
+        b: u64,
+    }
+
+    impl AddAssign<&Demo> for Demo {
+        fn add_assign(&mut self, rhs: &Demo) {
+            let Demo { a, b } = rhs;
+            self.a += a;
+            self.b += b;
+        }
+    }
+
+    #[test]
+    fn blanket_impl_merges_via_add_assign() {
+        let parts = [Demo { a: 1, b: 10 }, Demo { a: 2, b: 20 }];
+        let total = Demo::merged(parts.iter());
+        assert_eq!(total, Demo { a: 3, b: 30 });
+        let mut acc = Demo::default();
+        acc.merge_stats(&parts[0]);
+        acc.merge_stats(&parts[1]);
+        assert_eq!(acc, total);
+    }
+}

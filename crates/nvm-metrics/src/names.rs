@@ -1,0 +1,107 @@
+//! Canonical metric names.
+//!
+//! Centralised so instrumentation sites, derived-metric computation,
+//! exporters, and tests all agree on spelling. Names follow Prometheus
+//! conventions: `_total` for counters, explicit units (`_bytes`,
+//! `_ns`, `_bytes_per_s`).
+
+// --- Checkpoint engine (per rank, merged in rank order) ---
+
+/// Coordinated checkpoints completed.
+pub const CHKPT_CHECKPOINTS_TOTAL: &str = "chkpt_checkpoints_total";
+/// Restarts performed.
+pub const CHKPT_RESTARTS_TOTAL: &str = "chkpt_restarts_total";
+/// Write faults taken (copy-on-write interference).
+pub const CHKPT_FAULTS_TOTAL: &str = "chkpt_faults_total";
+/// Bytes copied by the pre-copy (background) phase.
+pub const CHKPT_PRECOPIED_BYTES_TOTAL: &str = "chkpt_precopied_bytes_total";
+/// Bytes copied inside the coordinated stop.
+pub const CHKPT_COORDINATED_BYTES_TOTAL: &str = "chkpt_coordinated_bytes_total";
+/// Bytes skipped because the pre-copy already moved them.
+pub const CHKPT_SKIPPED_BYTES_TOTAL: &str = "chkpt_skipped_bytes_total";
+/// Pre-copied bytes invalidated by later writes (wasted work).
+pub const CHKPT_WASTED_PRECOPY_BYTES_TOTAL: &str = "chkpt_wasted_precopy_bytes_total";
+/// Virtual time spent inside coordinated stops.
+pub const CHKPT_COORDINATED_TIME_NS_TOTAL: &str = "chkpt_coordinated_time_ns_total";
+/// Virtual time the application was slowed by checkpoint interference.
+pub const CHKPT_INTERFERENCE_TIME_NS_TOTAL: &str = "chkpt_interference_time_ns_total";
+/// Virtual time spent servicing write faults.
+pub const CHKPT_FAULT_TIME_NS_TOTAL: &str = "chkpt_fault_time_ns_total";
+/// Distribution of coordinated-checkpoint latency (ns).
+pub const CHKPT_COORDINATED_NS: &str = "chkpt_coordinated_ns";
+/// Distribution of per-fault handling time (ns).
+pub const CHKPT_FAULT_NS: &str = "chkpt_fault_ns";
+
+// --- Cluster coordinator ---
+
+/// Distribution of per-rank communication-stall duration (ns).
+pub const CLUSTER_COMM_STALL_NS: &str = "cluster_comm_stall_ns";
+/// Barrier synchronisations executed by the coordinator.
+pub const CLUSTER_BARRIERS_TOTAL: &str = "cluster_barriers_total";
+
+// --- RDMA helper process (per node, merged in node order) ---
+
+/// Virtual time the helper core was busy.
+pub const HELPER_BUSY_NS_TOTAL: &str = "helper_busy_ns_total";
+/// Virtual time elapsed while the helper existed.
+pub const HELPER_ELAPSED_NS_TOTAL: &str = "helper_elapsed_ns_total";
+/// Bytes moved by the helper.
+pub const HELPER_BYTES_COPIED_TOTAL: &str = "helper_bytes_copied_total";
+/// Copy operations issued to the helper.
+pub const HELPER_COPY_OPS_TOTAL: &str = "helper_copy_ops_total";
+/// Dirty-page scans performed by the helper.
+pub const HELPER_SCANS_TOTAL: &str = "helper_scans_total";
+/// Distribution of helper transfer sizes (bytes).
+pub const HELPER_TRANSFER_BYTES: &str = "helper_transfer_bytes";
+
+// --- Interconnect link ---
+
+/// Peak 1-second interconnect demand (bytes/s), max-merged.
+pub const LINK_PEAK_BYTES_PER_S: &str = "link_peak_bytes_per_s";
+
+// --- Emulated memory devices (per node; names keyed by device kind) ---
+
+/// `dev_<kind>_read_bytes_total` for a device kind name
+/// (`"dram"`/`"pcm"`/`"nvm"`); falls back to `other` for kinds added
+/// later so instrumentation never panics on a new device.
+pub fn device_read_bytes_total(kind: &str) -> &'static str {
+    match kind {
+        "dram" => "dev_dram_read_bytes_total",
+        "pcm" => "dev_pcm_read_bytes_total",
+        "nvm" => "dev_nvm_read_bytes_total",
+        _ => "dev_other_read_bytes_total",
+    }
+}
+
+/// `dev_<kind>_write_bytes_total` (see [`device_read_bytes_total`]).
+pub fn device_write_bytes_total(kind: &str) -> &'static str {
+    match kind {
+        "dram" => "dev_dram_write_bytes_total",
+        "pcm" => "dev_pcm_write_bytes_total",
+        "nvm" => "dev_nvm_write_bytes_total",
+        _ => "dev_other_write_bytes_total",
+    }
+}
+
+/// `dev_<kind>_busy_ns_total` (see [`device_read_bytes_total`]).
+pub fn device_busy_ns_total(kind: &str) -> &'static str {
+    match kind {
+        "dram" => "dev_dram_busy_ns_total",
+        "pcm" => "dev_pcm_busy_ns_total",
+        "nvm" => "dev_nvm_busy_ns_total",
+        _ => "dev_other_busy_ns_total",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_names_cover_known_kinds() {
+        assert_eq!(device_read_bytes_total("pcm"), "dev_pcm_read_bytes_total");
+        assert_eq!(device_write_bytes_total("nvm"), "dev_nvm_write_bytes_total");
+        assert_eq!(device_busy_ns_total("dram"), "dev_dram_busy_ns_total");
+        assert_eq!(device_busy_ns_total("weird"), "dev_other_busy_ns_total");
+    }
+}

@@ -1,0 +1,323 @@
+//! Metric registries and the shared recording handle.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One named metric.
+///
+/// The histogram variant is large (65 fixed buckets), but registries
+/// hold a handful of long-lived entries and `observe` resolves them
+/// in place through the map — boxing would add a pointer chase to the
+/// hot path to shrink a map node that is never moved.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// Monotone sum; merges by addition.
+    Counter(u64),
+    /// High-water mark (peak rates, largest residue); merges by max,
+    /// so the cluster-level value is the worst rank/node.
+    Gauge(i64),
+    /// Log2-bucketed distribution; merges bucketwise.
+    Histogram(Histogram),
+}
+
+/// A set of named metrics. Names are `&'static str` so steady-state
+/// updates allocate nothing; iteration order (and therefore snapshot
+/// and export order) is the `BTreeMap`'s name order — stable across
+/// runs, thread counts, and platforms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<&'static str, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter (created at 0).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        match self.metrics.entry(name).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Raise the named gauge to at least `value` (created at `value`).
+    pub fn gauge_max(&mut self, name: &'static str, value: i64) {
+        match self.metrics.entry(name).or_insert(Metric::Gauge(value)) {
+            Metric::Gauge(v) => *v = (*v).max(value),
+            other => panic!("metric {name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        match self
+            .metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Fold another registry into this one: counters add, gauges take
+    /// the max, histograms merge bucketwise. Every combination rule is
+    /// commutative and associative, but callers (the cluster
+    /// coordinator) still merge in rank order to mirror the trace-merge
+    /// discipline. Panics if the same name has different metric types.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, theirs) in &other.metrics {
+            match self.metrics.entry(name) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(theirs.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), theirs) {
+                        (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+                        (Metric::Gauge(a), Metric::Gauge(b)) => *a = (*a).max(*b),
+                        (Metric::Histogram(a), Metric::Histogram(b)) => a.merge_from(b),
+                        (mine, theirs) => {
+                            panic!("metric {name} type mismatch: {mine:?} vs {theirs:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializable snapshot with stable (name-sorted) ordering.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in &self.metrics {
+            match metric {
+                Metric::Counter(v) => {
+                    snap.counters.insert(name.to_string(), *v);
+                }
+                Metric::Gauge(v) => {
+                    snap.gauges.insert(name.to_string(), *v);
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.to_string(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Serializable registry contents. `BTreeMap` keys keep the JSON
+/// byte-stable: same run → same bytes, regardless of thread count.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone counters.
+    pub counters: BTreeMap<String, u64>,
+    /// High-water-mark gauges.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, defaulting to 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, defaulting to 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram summary, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+/// Clonable recording handle, mirroring `nvm_trace::Tracer`: `None`
+/// (the default) is disabled and every update is a single branch;
+/// enabled handles share one registry behind a mutex. All updates are
+/// commutative (add/max/bucket-add), so a registry shared by
+/// concurrently executing ranks — the per-node device registries — is
+/// still bit-deterministic.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Mutex<MetricsRegistry>>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// Disabled handle; every update is a no-op costing one branch.
+    pub fn disabled() -> Self {
+        Metrics::default()
+    }
+
+    /// Enabled handle over a fresh registry.
+    pub fn new() -> Self {
+        Metrics {
+            inner: Some(Arc::new(Mutex::new(MetricsRegistry::new()))),
+        }
+    }
+
+    /// True when a registry is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to a counter. No-op when disabled.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().counter_add(name, delta);
+        }
+    }
+
+    /// Raise a gauge to at least `value`. No-op when disabled.
+    #[inline]
+    pub fn gauge_max(&self, name: &'static str, value: i64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().gauge_max(name, value);
+        }
+    }
+
+    /// Record a histogram sample. No-op when disabled.
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().observe(name, value);
+        }
+    }
+
+    /// Copy of the attached registry (empty when disabled).
+    pub fn registry(&self) -> MetricsRegistry {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.lock().unwrap().clone())
+            .unwrap_or_default()
+    }
+
+    /// Merge the attached registry into `target` (no-op when
+    /// disabled).
+    pub fn merge_into(&self, target: &mut MetricsRegistry) {
+        if let Some(inner) = &self.inner {
+            target.merge_from(&inner.lock().unwrap());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_record_and_snapshot() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c", 2);
+        r.counter_add("c", 3);
+        r.gauge_max("g", 10);
+        r.gauge_max("g", 4);
+        r.observe("h", 100);
+        r.observe("h", 3);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), 5);
+        assert_eq!(s.gauge("g"), 10);
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 100);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_combines_by_type() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.gauge_max("g", 7);
+        a.observe("h", 10);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.counter_add("only_b", 9);
+        b.gauge_max("g", 3);
+        b.observe("h", 2000);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        let s = ab.snapshot();
+        assert_eq!(s.counter("c"), 3);
+        assert_eq!(s.counter("only_b"), 9);
+        assert_eq!(s.gauge("g"), 7);
+        assert_eq!(s.histogram("h").unwrap().count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn merge_rejects_type_clash() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("x", 1);
+        let mut b = MetricsRegistry::new();
+        b.gauge_max("x", 1);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let m = Metrics::disabled();
+        assert!(!m.enabled());
+        m.counter_add("c", 1);
+        m.observe("h", 1);
+        assert!(m.registry().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m.counter_add("c", 1);
+        m2.counter_add("c", 1);
+        assert_eq!(m.registry().snapshot().counter("c"), 2);
+        let mut target = MetricsRegistry::new();
+        m.merge_into(&mut target);
+        assert_eq!(target.snapshot().counter("c"), 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_name_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("zebra", 1);
+        r.counter_add("alpha", 1);
+        let json = serde_json::to_string(&r.snapshot()).unwrap();
+        let a = json.find("alpha").unwrap();
+        let z = json.find("zebra").unwrap();
+        assert!(a < z, "keys must serialize in sorted order: {json}");
+    }
+}

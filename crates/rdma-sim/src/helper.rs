@@ -16,6 +16,7 @@
 //! ~2.5% of a 12-core node.
 
 use nvm_emu::SimDuration;
+use nvm_metrics::{names, Metrics};
 use serde::{Deserialize, Serialize};
 
 /// Cost parameters of the helper.
@@ -65,11 +66,44 @@ pub struct HelperStats {
     pub scans: u64,
 }
 
+/// Field-exhaustive accumulation (no `..` in the destructuring): a
+/// field added to [`HelperStats`] will not compile until this merge
+/// handles it, so cluster-level helper totals cannot silently drop it.
+/// Also provides [`nvm_metrics::MergeStats`] via its blanket impl.
+impl std::ops::AddAssign<&HelperStats> for HelperStats {
+    fn add_assign(&mut self, rhs: &HelperStats) {
+        let HelperStats {
+            busy,
+            elapsed,
+            bytes_copied,
+            copy_ops,
+            scans,
+        } = *rhs;
+        self.busy += busy;
+        self.elapsed += elapsed;
+        self.bytes_copied += bytes_copied;
+        self.copy_ops += copy_ops;
+        self.scans += scans;
+    }
+}
+
+impl HelperStats {
+    /// Aggregate utilization over merged stats (`busy / elapsed`).
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
 /// The per-node helper process model.
 #[derive(Clone, Debug)]
 pub struct HelperProcess {
     params: HelperParams,
     stats: HelperStats,
+    metrics: Metrics,
 }
 
 impl HelperProcess {
@@ -83,6 +117,7 @@ impl HelperProcess {
         HelperProcess {
             params,
             stats: HelperStats::default(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -91,12 +126,20 @@ impl HelperProcess {
         self.params
     }
 
+    /// Attach a metrics handle; subsequent scans/copies record into it.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
     /// Charge one dirty-scan over `chunks` chunk records. Returns the
     /// CPU time consumed.
     pub fn scan(&mut self, chunks: usize) -> SimDuration {
         let cost = self.params.scan_per_chunk * chunks as u64;
         self.stats.busy += cost;
         self.stats.scans += 1;
+        self.metrics.counter_add(names::HELPER_SCANS_TOTAL, 1);
+        self.metrics
+            .counter_add(names::HELPER_BUSY_NS_TOTAL, cost.as_nanos());
         cost
     }
 
@@ -119,6 +162,12 @@ impl HelperProcess {
         self.stats.busy += cost;
         self.stats.bytes_copied += bytes;
         self.stats.copy_ops += 1;
+        self.metrics.counter_add(names::HELPER_COPY_OPS_TOTAL, 1);
+        self.metrics
+            .counter_add(names::HELPER_BYTES_COPIED_TOTAL, bytes);
+        self.metrics
+            .counter_add(names::HELPER_BUSY_NS_TOTAL, cost.as_nanos());
+        self.metrics.observe(names::HELPER_TRANSFER_BYTES, bytes);
         cost
     }
 
@@ -126,6 +175,8 @@ impl HelperProcess {
     /// charged separately by `scan`/`copy_chunk`).
     pub fn advance(&mut self, dur: SimDuration) {
         self.stats.elapsed += dur;
+        self.metrics
+            .counter_add(names::HELPER_ELAPSED_NS_TOTAL, dur.as_nanos());
     }
 
     /// CPU utilization of the dedicated helper core, in [0, 1+].
@@ -224,6 +275,53 @@ mod tests {
         assert_eq!(h.cpu_utilization(), 0.0);
         let h2 = HelperProcess::new();
         assert_eq!(h2.cpu_utilization(), 0.0, "no elapsed time yet");
+    }
+
+    #[test]
+    fn stats_merge_combines_every_field() {
+        let a = HelperStats {
+            busy: SimDuration::from_nanos(1),
+            elapsed: SimDuration::from_nanos(2),
+            bytes_copied: 3,
+            copy_ops: 4,
+            scans: 5,
+        };
+        let mut total = a;
+        total += &a;
+        assert_eq!(total.busy, SimDuration::from_nanos(2));
+        assert_eq!(total.elapsed, SimDuration::from_nanos(4));
+        assert_eq!(total.bytes_copied, 6);
+        assert_eq!(total.copy_ops, 8);
+        assert_eq!(total.scans, 10);
+        assert_eq!(total.cpu_utilization(), 0.5);
+    }
+
+    #[test]
+    fn metrics_mirror_stats() {
+        use nvm_metrics::names;
+        let mut h = HelperProcess::new();
+        let m = Metrics::new();
+        h.set_metrics(m.clone());
+        h.scan(10);
+        h.copy_chunk(MB);
+        h.copy_bulk(2 * MB);
+        h.advance(SimDuration::from_secs(1));
+        let snap = m.registry().snapshot();
+        let s = h.stats();
+        assert_eq!(snap.counter(names::HELPER_SCANS_TOTAL), s.scans);
+        assert_eq!(snap.counter(names::HELPER_COPY_OPS_TOTAL), s.copy_ops);
+        assert_eq!(
+            snap.counter(names::HELPER_BYTES_COPIED_TOTAL),
+            s.bytes_copied
+        );
+        assert_eq!(snap.counter(names::HELPER_BUSY_NS_TOTAL), s.busy.as_nanos());
+        assert_eq!(
+            snap.counter(names::HELPER_ELAPSED_NS_TOTAL),
+            s.elapsed.as_nanos()
+        );
+        let hist = snap.histogram(names::HELPER_TRANSFER_BYTES).unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.max, 2 * MB);
     }
 
     #[test]
