@@ -7,8 +7,10 @@
 //! Chrome `trace_event` JSON viewable in chrome://tracing or
 //! Perfetto); `--metrics PATH` runs a metered GTC simulation and
 //! writes its metrics report to PATH as stable-ordered JSON plus a
-//! Prometheus text exposition alongside it. Unknown flags abort with
-//! usage.
+//! Prometheus text exposition alongside it; `--store DIR` runs the
+//! durable-store recovery experiment, leaving one container file per
+//! rank under DIR and timing per-rank recovery from those files alone
+//! (incompatible with `--trace`). Unknown flags abort with usage.
 use nvm_bench::experiments::*;
 use nvm_bench::report::write_json;
 use nvm_bench::scale::RunArgs;
@@ -148,6 +150,13 @@ fn main() {
             }
             Err(e) => eprintln!("failed to write metrics to {path}: {e}"),
         }
+    }
+
+    if let Some(dir) = &args.store {
+        let rows = store::run(&scale, std::path::Path::new(dir));
+        store::render(&rows).print();
+        write_json("store_recovery", &rows);
+        println!("per-rank container files left under {dir}.");
     }
 
     println!("\nJSON written to experiments/ at the workspace root.");

@@ -57,7 +57,13 @@ pub fn run_real() -> Vec<MadRow> {
     let sizes = [8usize, 16, 32, 64];
     let max = 64 << 20;
     let mut mem = RealMemorySink::new(max);
-    let mut rd = match RealRamdiskSink::new(max, ramdisk_dir()) {
+    // Scoped tempdir on the ramdisk filesystem, removed when the
+    // experiment returns (even on panic) rather than relying solely on
+    // the sink's Drop.
+    let Ok(tmp) = nvm_emu::TempDir::new_in(ramdisk_dir(), "madbench") else {
+        return Vec::new();
+    };
+    let mut rd = match RealRamdiskSink::new(max, tmp.path().to_path_buf()) {
         Ok(s) => s,
         Err(_) => return Vec::new(),
     };

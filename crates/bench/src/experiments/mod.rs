@@ -14,6 +14,7 @@ pub mod madbench;
 pub mod metrics;
 pub mod model_val;
 pub mod scaling;
+pub mod store;
 pub mod table1;
 pub mod table4;
 pub mod table5;

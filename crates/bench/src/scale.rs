@@ -116,10 +116,18 @@ pub struct RunArgs {
     /// to PATH as stable-ordered JSON, plus Prometheus text exposition
     /// alongside it.
     pub metrics: Option<String>,
+    /// `--store DIR` / `--store=DIR`: run the durable-store recovery
+    /// experiment — a store-attached cluster run leaving one container
+    /// file per rank under DIR, then per-rank recovery from those
+    /// files alone. Incompatible with `--trace` (a store-attached
+    /// engine emits store events into the trace stream, which would
+    /// change the committed trace baselines).
+    pub store: Option<String>,
 }
 
 /// Usage string printed when strict parsing fails.
-pub const USAGE: &str = "usage: [--quick] [--threads N] [--trace PATH] [--metrics PATH]";
+pub const USAGE: &str =
+    "usage: [--quick] [--threads N] [--trace PATH] [--metrics PATH] [--store DIR]";
 
 impl RunArgs {
     /// Parse an argument list (`args[0]` is the binary name and is
@@ -158,8 +166,16 @@ impl RunArgs {
                 }
                 "--trace" => out.trace = Some(value(&mut it)?),
                 "--metrics" => out.metrics = Some(value(&mut it)?),
+                "--store" => out.store = Some(value(&mut it)?),
                 other => return Err(format!("unknown argument {other:?}")),
             }
+        }
+        if out.store.is_some() && out.trace.is_some() {
+            return Err(
+                "--store cannot be combined with --trace: a store-attached engine emits \
+store events into the trace stream, which would change the trace baselines"
+                    .to_string(),
+            );
         }
         Ok(out)
     }
@@ -279,5 +295,24 @@ mod tests {
         assert!(parse(&["--trace="]).unwrap_err().contains("value"));
         assert!(parse(&["--metrics"]).unwrap_err().contains("value"));
         assert!(parse(&["--quick=yes"]).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn store_flag_parses_and_rejects_trace_combo() {
+        let args = parse(&["--quick", "--store", "out/stores"]).unwrap();
+        assert_eq!(args.store.as_deref(), Some("out/stores"));
+        let inline = parse(&["--store=d"]).unwrap();
+        assert_eq!(inline.store.as_deref(), Some("d"));
+        assert!(parse(&["--store"]).unwrap_err().contains("value"));
+        // Order-independent rejection of the incompatible pair.
+        for v in [
+            &["--store", "d", "--trace", "t.jsonl"][..],
+            &["--trace", "t.jsonl", "--store", "d"][..],
+        ] {
+            let err = parse(v).unwrap_err();
+            assert!(err.contains("--store cannot be combined"), "got {err}");
+        }
+        // --store alongside the other flags stays fine.
+        assert!(parse(&["--quick", "--metrics", "m.json", "--store", "d"]).is_ok());
     }
 }

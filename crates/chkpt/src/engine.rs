@@ -27,6 +27,7 @@ use crate::checksum::crc64;
 #[cfg(test)]
 use crate::config::PrecopyPolicy;
 use crate::config::{ConfigError, EngineConfig};
+use crate::persist::{PersistError, Persistence, RecoveredChunk, SyntheticPayload};
 use crate::precopy::PrecopyPlanner;
 use crate::predict::{PredictionStats, PredictionTable};
 use crate::restart::RestartStrategy;
@@ -39,7 +40,7 @@ use nvm_metrics::{names, Metrics};
 use nvm_paging::metadata::MetadataError;
 use nvm_paging::{ChunkId, MetadataRegion, Mmu};
 use nvm_trace::{TraceEventKind, Tracer};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors surfaced by the engine.
 #[non_exhaustive]
@@ -64,6 +65,8 @@ pub enum EngineError {
     NoCommittedData(ChunkId),
     /// The configuration was rejected at engine construction.
     Config(ConfigError),
+    /// The attached durable persistence backend failed.
+    Store(PersistError),
 }
 
 nvm_emu::error_enum! {
@@ -72,6 +75,7 @@ nvm_emu::error_enum! {
         wrap Config(ConfigError) => "config",
         wrap Device(DeviceError) => "device",
         wrap Metadata(MetadataError) => "metadata",
+        wrap Store(PersistError) => "store",
         leaf EngineError::ChecksumMismatch { chunk, expected, actual } => write!(
             f,
             "checksum mismatch on {chunk:?}: stored {expected:#x}, read {actual:#x}"
@@ -119,6 +123,13 @@ pub struct CheckpointEngine {
     faults_at_interval_start: u64,
     /// Chunks awaiting lazy (first-access) restore.
     lazy_pending: BTreeSet<ChunkId>,
+    /// Chunks awaiting lazy restore *from the durable store* (their
+    /// payload was never materialized in this process's NVM device),
+    /// with the recovered table entry needed to install them.
+    lazy_store_pending: BTreeMap<ChunkId, RecoveredChunk>,
+    /// Durable backend every commit is mirrored into (cost-free in
+    /// virtual time; the devices already charged the copies).
+    persistence: Option<Box<dyn Persistence>>,
     stats: EngineStats,
     log: Vec<EpochReport>,
     /// Event-stream handle; disabled (one branch per emission site) by
@@ -170,6 +181,8 @@ impl CheckpointEngine {
             epoch_wasted: 0,
             faults_at_interval_start: 0,
             lazy_pending: BTreeSet::new(),
+            lazy_store_pending: BTreeMap::new(),
+            persistence: None,
             stats: EngineStats::default(),
             log: Vec::new(),
             tracer: Tracer::disabled(),
@@ -200,6 +213,64 @@ impl CheckpointEngine {
     /// The attached metrics handle (disabled by default).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Attach a durable [`Persistence`] backend. Every subsequent
+    /// commit is mirrored into it — chunk payloads into shadow slots,
+    /// then one atomic commit record — so the checkpoint survives this
+    /// process. Mirroring charges no virtual time (the emulated
+    /// devices already paid for every copy), so results with and
+    /// without a backend are identical.
+    pub fn set_persistence(&mut self, store: Box<dyn Persistence>) {
+        self.persistence = Some(store);
+    }
+
+    /// Whether a durable backend is attached.
+    pub fn has_persistence(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// Counters of the attached backend, if any.
+    pub fn persistence_stats(&self) -> Option<crate::persist::StoreStats> {
+        self.persistence.as_ref().map(|p| p.stats())
+    }
+
+    /// Mirror one chunk's freshly committed payload into the durable
+    /// backend (no-op when none is attached).
+    fn store_put(&mut self, id: ChunkId, epoch: u64) -> Result<(), EngineError> {
+        if self.persistence.is_none() {
+            return Ok(());
+        }
+        let chunk = self.heap.chunk(id)?;
+        let name = chunk.name.clone();
+        let len = chunk.len;
+        let payload = match self.heap.materialization() {
+            Materialization::Bytes => self.heap.working_copy(id)?,
+            // Size-only runs persist a fixed descriptor standing in
+            // for the bytes; crash tests still verify it bit-for-bit.
+            Materialization::Synthetic => SyntheticPayload {
+                id: id.0,
+                epoch,
+                len: len as u64,
+            }
+            .encode()
+            .to_vec(),
+        };
+        let bytes = payload.len() as u64;
+        let store = self.persistence.as_mut().expect("checked above");
+        store.put_chunk(id, &name, len, epoch, &payload)?;
+        self.trace(TraceEventKind::StoreWrite { chunk: id.0, bytes });
+        Ok(())
+    }
+
+    /// Durably commit everything mirrored so far (no-op when no
+    /// backend is attached).
+    fn store_commit(&mut self, epoch: u64) -> Result<(), EngineError> {
+        if let Some(store) = self.persistence.as_mut() {
+            store.commit(epoch)?;
+            self.trace(TraceEventKind::StoreCommit { epoch });
+        }
+        Ok(())
     }
 
     #[inline]
@@ -271,6 +342,13 @@ impl CheckpointEngine {
             self.mmu.unregister_chunk(id);
             self.predictor.forget(id);
             self.precopy_done.remove(&id);
+            self.lazy_store_pending.remove(&id);
+            if let Some(store) = self.persistence.as_mut() {
+                // Dropped from the store's table at the next commit;
+                // its on-media extents are recycled only after that
+                // commit's fsync retires the record referencing them.
+                store.delete_chunk(id);
+            }
             let cost = self.metadata.save(&self.heap.export_metadata())?;
             self.clock.advance(cost);
         }
@@ -470,6 +548,13 @@ impl CheckpointEngine {
     /// (`nvchkptall()`). Blocks the application for the copy of
     /// still-dirty data, flushes, checksums, and commits.
     pub fn nvchkptall(&mut self) -> Result<EpochReport, EngineError> {
+        // A coordinated checkpoint snapshots every persistent chunk,
+        // so chunks whose store-lazy restore is still outstanding must
+        // be materialized first — otherwise their unrestored working
+        // copies would be committed over the recovered data.
+        while let Some(id) = self.lazy_store_pending.keys().next().copied() {
+            self.ensure_restored(id)?;
+        }
         let t0 = self.clock.now();
         if self.tracer.enabled() {
             let dirty = self
@@ -549,11 +634,21 @@ impl CheckpointEngine {
             });
         }
 
+        // Mirror the freshly committed payloads into the durable
+        // backend's shadow slots (no-op without one; cost-free in
+        // virtual time).
+        for &id in &to_commit {
+            self.store_put(id, self.epoch)?;
+        }
+
         // The commit point: persisting the metadata region. A crash
         // before this leaves every chunk's previous committed slot
         // intact.
         let meta_cost = self.metadata.save(&self.heap.export_metadata())?;
         self.clock.advance(meta_cost);
+        // And the durable commit point for the backend: one atomic
+        // record append + fsync.
+        self.store_commit(self.epoch)?;
 
         // Reset dirty tracking for the next interval.
         for id in self.heap.persistent_ids() {
@@ -656,8 +751,10 @@ impl CheckpointEngine {
             chunk: id.0,
             slot: slot as u64,
         });
+        self.store_put(id, epoch)?;
         let meta_cost = self.metadata.save(&self.heap.export_metadata())?;
         self.clock.advance(meta_cost);
+        self.store_commit(epoch)?;
         self.mmu.clear_local_dirty(id);
         if self.config.precopy.enabled() {
             self.mmu.protect_after_precopy(id);
@@ -829,6 +926,8 @@ impl CheckpointEngine {
                 epoch_wasted: 0,
                 faults_at_interval_start: 0,
                 lazy_pending,
+                lazy_store_pending: BTreeMap::new(),
+                persistence: None,
                 stats,
                 log: Vec::new(),
                 tracer,
@@ -838,14 +937,233 @@ impl CheckpointEngine {
         ))
     }
 
+    /// Rebuild an engine from a durable [`Persistence`] backend alone:
+    /// nothing of the failed process survives except its container
+    /// file. Fresh devices are populated from the store's last durable
+    /// commit, with restore costs charged exactly as
+    /// [`CheckpointEngine::restart_traced`] charges them — the store
+    /// file stands in for the surviving NVM medium, so installing its
+    /// payloads back into the emulated device is free while the
+    /// modeled NVM-read + DRAM-write of each restore is paid per the
+    /// strategy. The rebuilt engine keeps the store attached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restart_from_store(
+        dram: &MemoryDevice,
+        nvm: &MemoryDevice,
+        container_capacity: usize,
+        clock: VirtualClock,
+        config: EngineConfig,
+        strategy: RestartStrategy,
+        mut store: Box<dyn Persistence>,
+        tracer: Tracer,
+    ) -> Result<(Self, RestartReport), EngineError> {
+        config.validate()?;
+        if container_capacity == 0 {
+            return Err(ConfigError::ZeroShadowRegion.into());
+        }
+        let t0 = clock.now();
+        let state = store.recover()?;
+        let mut heap = NvmHeap::new(
+            state.process_id,
+            dram,
+            nvm,
+            container_capacity,
+            config.versioning,
+            config.materialization,
+        )?;
+        let metadata = MetadataRegion::create(nvm)?;
+        let mut mmu = Mmu::with_granularity(config.granularity);
+        let mut report = RestartReport::default();
+        let mut lazy_store_pending = BTreeMap::new();
+        let mut restore_cost = SimDuration::ZERO;
+
+        for rec in &state.chunks {
+            let id = heap.nvmalloc_id(rec.id, &rec.name, rec.len, true)?;
+            mmu.register_chunk(id, pages_for(rec.len).max(1));
+            if strategy == RestartStrategy::Lazy {
+                // Defer the media read itself to first access: an
+                // untouched chunk is never fetched from the store.
+                mmu.clear_local_dirty(id);
+                mmu.clear_remote_dirty(id);
+                lazy_store_pending.insert(id, rec.clone());
+                report.deferred.push(id);
+                continue;
+            }
+            let payload = match store.read_chunk(id) {
+                Ok(p) => p,
+                Err(PersistError::Checksum { .. }) => {
+                    report.corrupt.push(id);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            restore_cost += Self::install_recovered(&mut heap, id, rec, &payload)?;
+            mmu.clear_local_dirty(id);
+            mmu.clear_remote_dirty(id);
+            if config.precopy.enabled() {
+                mmu.protect_after_precopy(id);
+            }
+            report.restored.push(id);
+        }
+        match strategy {
+            RestartStrategy::Parallel { streams } if streams > 1 => {
+                let n = streams.min(report.restored.len().max(1));
+                let solo = nvm.per_core_bandwidth(1, 32 << 20);
+                let shared = nvm.per_core_bandwidth(n, 32 << 20);
+                let slowdown = (solo / shared).max(1.0);
+                clock.advance(SimDuration::from_secs_f64(
+                    restore_cost.as_secs_f64() * slowdown / n as f64,
+                ));
+            }
+            _ => {
+                clock.advance(restore_cost);
+            }
+        }
+        report.duration = clock.now().since(t0);
+        let now = clock.now();
+        tracer.emit(
+            now.as_nanos(),
+            TraceEventKind::StoreRecovery {
+                epoch: state.epoch,
+                chunks: state.chunks.len() as u64,
+                torn: state.torn_writes_detected,
+            },
+        );
+        tracer.emit(
+            now.as_nanos(),
+            TraceEventKind::Restart {
+                strategy: strategy.name().to_string(),
+                chunks: report.restored.len() as u64,
+            },
+        );
+        let stats = EngineStats {
+            restarts: 1,
+            ..EngineStats::default()
+        };
+        Ok((
+            CheckpointEngine {
+                heap,
+                mmu,
+                clock,
+                config,
+                metadata,
+                predictor: PredictionTable::new(),
+                planner: PrecopyPlanner::new(),
+                epoch: state.epoch.map_or(0, |e| e + 1),
+                interval_start: now,
+                precopy_done: BTreeSet::new(),
+                precopy_credit_secs: 0.0,
+                epoch_precopied: 0,
+                epoch_wasted: 0,
+                faults_at_interval_start: 0,
+                lazy_pending: BTreeSet::new(),
+                lazy_store_pending,
+                persistence: Some(store),
+                stats,
+                log: Vec::new(),
+                tracer,
+                metrics: Metrics::disabled(),
+            },
+            report,
+        ))
+    }
+
+    /// Install one payload recovered from a durable store into a
+    /// freshly allocated chunk: seed the NVM version slot (free —
+    /// those bytes survived on the medium), mark it committed, and
+    /// restore the DRAM working copy. Returns the modeled restore
+    /// cost, which the caller charges per its strategy.
+    fn install_recovered(
+        heap: &mut NvmHeap,
+        id: ChunkId,
+        rec: &RecoveredChunk,
+        payload: &[u8],
+    ) -> Result<SimDuration, EngineError> {
+        let versioning = heap.versioning();
+        let slot = heap.chunk(id)?.in_progress_slot(versioning);
+        match heap.materialization() {
+            Materialization::Bytes => {
+                if payload.len() != rec.len {
+                    return Err(EngineError::Store(PersistError::Corrupt(format!(
+                        "recovered payload length mismatch for chunk {}",
+                        id.0
+                    ))));
+                }
+                heap.seed_version(id, slot, payload)?;
+                let chunk = heap.chunk_mut(id)?;
+                chunk.committed_slot = Some(slot);
+                chunk.checksum = Some(rec.checksum);
+                chunk.committed_epoch = rec.epoch;
+            }
+            Materialization::Synthetic => {
+                let desc = SyntheticPayload::decode(payload).map_err(EngineError::Store)?;
+                if desc.id != id.0 || desc.len as usize != rec.len {
+                    return Err(EngineError::Store(PersistError::Corrupt(format!(
+                        "synthetic descriptor mismatch for chunk {}",
+                        id.0
+                    ))));
+                }
+                let chunk = heap.chunk_mut(id)?;
+                chunk.committed_slot = Some(slot);
+                chunk.checksum = None;
+                chunk.committed_epoch = rec.epoch;
+            }
+        }
+        Ok(heap.restore_to_dram(id)?)
+    }
+
+    /// First-access restore of a store-lazy chunk: read the payload
+    /// from the durable backend (checksum-verified on the way),
+    /// install it, and charge the restore like any lazy restore.
+    fn restore_from_store(&mut self, id: ChunkId, rec: &RecoveredChunk) -> Result<(), EngineError> {
+        let store = self
+            .persistence
+            .as_mut()
+            .expect("store-lazy chunks require an attached backend");
+        let payload = match store.read_chunk(id) {
+            Ok(p) => p,
+            Err(PersistError::Checksum {
+                chunk,
+                expected,
+                actual,
+            }) => {
+                return Err(EngineError::ChecksumMismatch {
+                    chunk: ChunkId(chunk),
+                    expected,
+                    actual,
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let cost = Self::install_recovered(&mut self.heap, id, rec, &payload)?;
+        self.clock.advance(cost);
+        if self.config.precopy.enabled() {
+            self.mmu.protect_after_precopy(id);
+        }
+        self.trace(TraceEventKind::Restart {
+            strategy: "lazy".to_string(),
+            chunks: 1,
+        });
+        Ok(())
+    }
+
     /// Number of chunks still awaiting lazy restore.
     pub fn lazy_pending_count(&self) -> usize {
         self.lazy_pending.len()
     }
 
+    /// Number of chunks still awaiting lazy restore from the durable
+    /// store (their payloads have not been read from media yet).
+    pub fn store_lazy_pending_count(&self) -> usize {
+        self.lazy_store_pending.len()
+    }
+
     /// Verify + restore a lazily-deferred chunk now (called on first
     /// access). No-op for chunks that are not pending.
     fn ensure_restored(&mut self, id: ChunkId) -> Result<(), EngineError> {
+        if let Some(rec) = self.lazy_store_pending.remove(&id) {
+            return self.restore_from_store(id, &rec);
+        }
         if !self.lazy_pending.remove(&id) {
             return Ok(());
         }

@@ -47,6 +47,7 @@ pub mod checksum;
 pub mod compress;
 pub mod config;
 pub mod engine;
+pub mod persist;
 pub mod precopy;
 pub mod predict;
 pub mod restart;
@@ -56,6 +57,9 @@ pub mod transparent;
 pub use compress::{compress, decompress, CompressionModel, CompressionStats};
 pub use config::{ConfigError, EngineConfig, EngineConfigBuilder, PrecopyPolicy};
 pub use engine::{CheckpointEngine, EngineError, RestartReport};
+pub use persist::{
+    PersistError, Persistence, RecoveredChunk, RecoveredState, StoreStats, SyntheticPayload,
+};
 pub use precopy::PrecopyPlanner;
 pub use predict::PredictionTable;
 pub use restart::RestartStrategy;

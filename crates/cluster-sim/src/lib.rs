@@ -9,6 +9,9 @@
 //! * [`run`] — [`run::ClusterSim`]: the cluster orchestrator that
 //!   produces every remote-checkpointing result (Figures 9 and 10,
 //!   Table V) and the execution-time side of Figures 7 and 8.
+//! * [`store`] — recovery of a store-attached run
+//!   ([`run::ClusterConfig::store_dir`]) from its per-rank container
+//!   files alone.
 
 //! ```
 //! use cluster_sim::{evaluate, ModelParams};
@@ -38,6 +41,7 @@ pub mod model;
 pub mod reliability;
 pub mod run;
 pub mod schedule;
+pub mod store;
 
 pub use app::{UniformWorkload, Workload};
 pub use comm::{AlphaBeta, Collective, CommPattern};
@@ -48,3 +52,4 @@ pub use model::{
 pub use reliability::{expected_failures, unrecoverable_probability, ReliabilityParams};
 pub use run::{ClusterConfig, ClusterSim, RemoteConfig, RunResult, SimError};
 pub use schedule::{Activity, ScheduleTrace, Span};
+pub use store::{recover_store_dir, RankRecovery};

@@ -33,10 +33,12 @@ use crate::schedule::{Activity, ScheduleTrace};
 use nvm_chkpt::{CheckpointEngine, EngineConfig, EngineError, EngineStats, EpochReport};
 use nvm_emu::{BandwidthModel, MemoryDevice, SimDuration, SimTime, VirtualClock};
 use nvm_metrics::{names, MergeStats, Metrics, MetricsRegistry, MetricsReport};
+use nvm_store::{FileStore, PersistError, StoreStats};
 use nvm_trace::{BufferSink, TraceEvent, TraceEventKind, Tracer};
 use rdma_sim::armci::RemoteError;
 use rdma_sim::{HelperParams, HelperProcess, HelperStats, Link, RemoteStore, UsageTrace};
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Remote checkpointing configuration.
@@ -111,6 +113,13 @@ pub struct ClusterConfig {
     /// order, into [`RunResult::metrics`] — bit-identical for serial
     /// and multi-threaded execution.
     pub metrics: bool,
+    /// Give every rank a durable container file (`rank_<g>.store`)
+    /// under this directory and mirror each committed checkpoint into
+    /// it. Mirroring is cost-free in virtual time, so a store-attached
+    /// run's results are identical to the same run without one — but
+    /// its checkpoints survive the process and can be recovered from
+    /// the files alone (see [`crate::store::recover_store_dir`]).
+    pub store_dir: Option<PathBuf>,
 }
 
 impl ClusterConfig {
@@ -136,6 +145,7 @@ impl ClusterConfig {
             threads: 1,
             trace: false,
             metrics: false,
+            store_dir: None,
         }
     }
 
@@ -154,6 +164,13 @@ impl ClusterConfig {
     /// Enable or disable aggregate-metrics collection (builder style).
     pub fn with_metrics(mut self, metrics: bool) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach per-rank durable container files under `dir` (builder
+    /// style).
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
         self
     }
 
@@ -223,6 +240,9 @@ pub struct RunResult {
     /// Merged metrics report (raw snapshot + derived paper metrics);
     /// `None` unless [`ClusterConfig::metrics`] is set.
     pub metrics: Option<MetricsReport>,
+    /// Durable-store counters summed over every rank in rank order;
+    /// `None` unless [`ClusterConfig::store_dir`] is set.
+    pub store: Option<StoreStats>,
 }
 
 impl RunResult {
@@ -382,6 +402,10 @@ impl ClusterSim {
             .unwrap_or(rdma_sim::IB_40GBPS);
         let helper_params = config.remote.map(|r| r.helper).unwrap_or_default();
 
+        if let Some(dir) = &config.store_dir {
+            std::fs::create_dir_all(dir).map_err(|e| EngineError::from(PersistError::Io(e)))?;
+        }
+
         let mut ranks = Vec::new();
         let mut nodes = Vec::new();
         let mut stores = Vec::new();
@@ -426,6 +450,13 @@ impl ClusterSim {
                 } else {
                     Metrics::disabled()
                 };
+                if let Some(dir) = &config.store_dir {
+                    let path = dir.join(format!("rank_{global}.store"));
+                    let mut store = FileStore::open_path(&path, global, config.container_bytes)
+                        .map_err(EngineError::from)?;
+                    store.set_metrics(metrics.clone());
+                    engine.set_persistence(Box::new(store));
+                }
                 node_ranks.push(Rank {
                     global,
                     clock,
@@ -826,6 +857,20 @@ impl ClusterSim {
             None
         };
 
+        // Store counters, summed in rank order (None when no store is
+        // attached — so results without `--store` serialize unchanged).
+        let store_stats: Vec<StoreStats> = self
+            .ranks
+            .iter()
+            .flatten()
+            .filter_map(|r| r.engine.persistence_stats())
+            .collect();
+        let store = if store_stats.is_empty() {
+            None
+        } else {
+            Some(StoreStats::merged(store_stats.iter()))
+        };
+
         Ok(RunResult {
             total_time,
             iterations_executed: executed,
@@ -847,6 +892,7 @@ impl ClusterSim {
             checkpoint_bytes_per_rank: d_per_rank,
             trace: merged_trace,
             metrics,
+            store,
         })
     }
 

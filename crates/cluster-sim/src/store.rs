@@ -1,0 +1,259 @@
+//! Cluster-level durable-store recovery.
+//!
+//! A store-attached run ([`crate::run::ClusterConfig::store_dir`])
+//! leaves one container file per rank — `rank_<global>.store` — and
+//! those files are the *only* thing a recovery needs: this module
+//! scans a store directory, recovers every rank's container, and
+//! reports what each one holds. A dead rank is revived by handing its
+//! file to [`CheckpointEngine::restart_from_store`] in a brand-new
+//! process (see the tests below, which kill a rank after a run and
+//! rebuild it from the directory alone).
+//!
+//! [`CheckpointEngine::restart_from_store`]: nvm_chkpt::CheckpointEngine::restart_from_store
+
+use nvm_store::{FileStore, PersistError, Persistence, RecoveredState};
+use std::path::{Path, PathBuf};
+
+/// One rank's recovered container.
+#[derive(Debug)]
+pub struct RankRecovery {
+    /// Global rank number (parsed from the file name, verified against
+    /// the container's superblock).
+    pub global: u64,
+    /// The container file.
+    pub path: PathBuf,
+    /// What the container holds: last committed epoch (`None` on a
+    /// virgin container), the chunk table, and torn-write diagnostics.
+    pub state: RecoveredState,
+}
+
+/// Scan `dir` for `rank_<n>.store` container files, recover each, and
+/// return the recoveries sorted by rank. Files that do not match the
+/// naming scheme are ignored; a matching file that fails to open or
+/// whose superblock names a different process is an error.
+pub fn recover_store_dir(dir: &Path) -> Result<Vec<RankRecovery>, PersistError> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(PersistError::Io)? {
+        let entry = entry.map_err(PersistError::Io)?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(rank) = name
+            .strip_prefix("rank_")
+            .and_then(|rest| rest.strip_suffix(".store"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((rank, path));
+    }
+    found.sort_by_key(|(rank, _)| *rank);
+
+    let mut recoveries = Vec::new();
+    for (global, path) in found {
+        let mut store = FileStore::open_existing(&path)?;
+        let state = store.recover()?;
+        if state.process_id != global {
+            return Err(PersistError::Corrupt(format!(
+                "{} names process {} but the file name says rank {global}",
+                path.display(),
+                state.process_id
+            )));
+        }
+        recoveries.push(RankRecovery {
+            global,
+            path,
+            state,
+        });
+    }
+    Ok(recoveries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Workload;
+    use crate::run::{ClusterConfig, ClusterSim};
+    use nvm_chkpt::{
+        CheckpointEngine, EngineConfig, EngineError, Materialization, RestartStrategy, Tracer,
+    };
+    use nvm_emu::{MemoryDevice, SimDuration, TempDir, VirtualClock};
+    use nvm_paging::ChunkId;
+
+    const MB: usize = 1 << 20;
+
+    /// A workload writing *real*, rank-determined bytes every
+    /// iteration, so any committed epoch of rank `g` holds exactly
+    /// `pattern(g, chunk)` — recoverable bit-for-bit without knowing
+    /// which epoch a checkpoint interval landed on.
+    struct BytesWorkload {
+        global: u64,
+        ids: Vec<ChunkId>,
+    }
+
+    fn pattern(global: u64, chunk: usize, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (global as usize * 31 + chunk * 7 + i) as u8)
+            .collect()
+    }
+
+    const CHUNKS: usize = 2;
+    const CHUNK_BYTES: usize = 96 * 1024;
+
+    impl Workload for BytesWorkload {
+        fn name(&self) -> &str {
+            "bytes"
+        }
+
+        fn setup(&mut self, engine: &mut CheckpointEngine) -> Result<(), EngineError> {
+            self.ids.clear();
+            for c in 0..CHUNKS {
+                let id = engine.nvmalloc(&format!("data_{c}"), CHUNK_BYTES, true)?;
+                self.ids.push(id);
+            }
+            Ok(())
+        }
+
+        fn iterate(
+            &mut self,
+            engine: &mut CheckpointEngine,
+            _iter: u64,
+        ) -> Result<(), EngineError> {
+            for (c, &id) in self.ids.iter().enumerate() {
+                engine.write(id, 0, &pattern(self.global, c, CHUNK_BYTES))?;
+            }
+            engine.compute(SimDuration::from_secs(8));
+            Ok(())
+        }
+    }
+
+    fn store_config() -> ClusterConfig {
+        let mut c = ClusterConfig::new(2, 2);
+        c.container_bytes = 8 * MB;
+        c.engine = EngineConfig::builder()
+            .materialization(Materialization::Bytes)
+            .checksums(true)
+            .node_concurrency(2)
+            .build()
+            .unwrap();
+        c.local_interval = Some(SimDuration::from_secs(20));
+        c.iterations = 8;
+        c
+    }
+
+    fn factory(global: u64) -> Box<dyn Workload> {
+        Box::new(BytesWorkload {
+            global,
+            ids: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn store_attached_run_leaves_recoverable_containers() {
+        let tmp = TempDir::new("cluster-store").unwrap();
+        let config = store_config().with_store_dir(tmp.path());
+        let result = ClusterSim::new(config, factory).unwrap().run().unwrap();
+        assert!(result.local_checkpoints > 0);
+        let stats = result.store.expect("store stats present");
+        assert_eq!(stats.commits, 4 * result.local_checkpoints);
+        assert!(stats.bytes_written > 0 && stats.fsyncs > 0);
+
+        let recoveries = recover_store_dir(tmp.path()).unwrap();
+        assert_eq!(recoveries.len(), 4);
+        for (i, rec) in recoveries.iter().enumerate() {
+            assert_eq!(rec.global, i as u64);
+            assert_eq!(rec.state.epoch, Some(result.local_checkpoints - 1));
+            assert_eq!(rec.state.chunks.len(), CHUNKS);
+            assert_eq!(rec.state.torn_writes_detected, 0);
+        }
+    }
+
+    #[test]
+    fn killed_rank_recovers_from_the_store_directory_alone() {
+        let tmp = TempDir::new("cluster-kill").unwrap();
+        let config = store_config().with_store_dir(tmp.path());
+        let result = ClusterSim::new(config, factory).unwrap().run().unwrap();
+        assert!(result.local_checkpoints > 0);
+        // The whole cluster is gone now (run() consumed it); the only
+        // survivors are the files under `tmp`.
+
+        let recoveries = recover_store_dir(tmp.path()).unwrap();
+        let victim = &recoveries[2]; // rank 2: second node's first rank
+        let store = FileStore::open_existing(&victim.path).unwrap();
+        let dram = MemoryDevice::dram(64 * MB);
+        let nvm = MemoryDevice::pcm(64 * MB);
+        let (e, report) = CheckpointEngine::restart_from_store(
+            &dram,
+            &nvm,
+            8 * MB,
+            VirtualClock::new(),
+            EngineConfig::builder()
+                .materialization(Materialization::Bytes)
+                .checksums(true)
+                .build()
+                .unwrap(),
+            RestartStrategy::Eager,
+            Box::new(store),
+            Tracer::disabled(),
+        )
+        .unwrap();
+        assert_eq!(report.restored.len(), CHUNKS);
+        assert!(report.corrupt.is_empty());
+        assert_eq!(e.epoch(), result.local_checkpoints);
+        for (c, rec) in victim.state.chunks.iter().enumerate() {
+            assert_eq!(
+                e.committed_bytes(rec.id).unwrap(),
+                pattern(2, c, CHUNK_BYTES),
+                "rank 2 chunk {c} must come back bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_write_identical_store_files() {
+        let tmp = TempDir::new("cluster-store-det").unwrap();
+        let serial_dir = tmp.join("serial");
+        let threaded_dir = tmp.join("threaded");
+        let serial = store_config().with_store_dir(&serial_dir);
+        let threaded = store_config().with_store_dir(&threaded_dir).with_threads(4);
+        ClusterSim::new(serial, factory).unwrap().run().unwrap();
+        ClusterSim::new(threaded, factory).unwrap().run().unwrap();
+        for g in 0..4 {
+            let a = std::fs::read(serial_dir.join(format!("rank_{g}.store"))).unwrap();
+            let b = std::fs::read(threaded_dir.join(format!("rank_{g}.store"))).unwrap();
+            assert_eq!(a, b, "rank {g} container must not depend on thread count");
+        }
+    }
+
+    #[test]
+    fn attaching_stores_does_not_perturb_the_run() {
+        let tmp = TempDir::new("cluster-store-inert").unwrap();
+        let plain = ClusterSim::new(store_config(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut stored = ClusterSim::new(store_config().with_store_dir(tmp.path()), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(stored.store.is_some());
+        stored.store = None; // the only field allowed to differ
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&stored).unwrap(),
+            "store mirroring must be invisible to simulation results"
+        );
+    }
+
+    #[test]
+    fn recover_store_dir_rejects_a_misnamed_container() {
+        let tmp = TempDir::new("cluster-store-misnamed").unwrap();
+        {
+            let mut store = FileStore::open_path(&tmp.join("rank_9.store"), 3, MB).unwrap();
+            store.commit(0).unwrap();
+        }
+        let err = recover_store_dir(tmp.path()).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
+    }
+}

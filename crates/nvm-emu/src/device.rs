@@ -413,6 +413,31 @@ impl MemoryDevice {
         Ok(g.charge_read(len, concurrency))
     }
 
+    /// Place bytes into a materialized region without charging time,
+    /// statistics, or wear. This is *not* a modeled operation: it
+    /// reconstitutes emulator state that conceptually survived a
+    /// process failure (e.g. re-loading a durable store file into a
+    /// fresh NVM device on restart — on real hardware those bytes
+    /// never left the medium).
+    pub fn restore_bytes(
+        &self,
+        id: RegionId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), DeviceError> {
+        let mut g = self.inner.lock();
+        let region = g.regions.get(&id).ok_or(DeviceError::NoSuchRegion(id.0))?;
+        region.check_bounds(id, offset, data.len())?;
+        let region = g.regions.get_mut(&id).expect("checked above");
+        match &mut region.backing {
+            Backing::Bytes(bytes) => {
+                bytes[offset..offset + data.len()].copy_from_slice(data);
+                Ok(())
+            }
+            Backing::Synthetic => Err(DeviceError::SyntheticAccess(id.0)),
+        }
+    }
+
     /// Copy of a materialized region's bytes (for checksumming/restart).
     pub fn snapshot(&self, id: RegionId) -> Result<Vec<u8>, DeviceError> {
         let g = self.inner.lock();

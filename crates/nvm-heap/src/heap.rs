@@ -377,6 +377,35 @@ impl NvmHeap {
         Ok((buf, cost))
     }
 
+    /// Place `data` into version `slot`'s NVM extent without charging
+    /// time or device statistics: reconstitutes NVM contents that
+    /// survived a process failure inside a durable store (the store
+    /// file *is* the surviving medium, so re-loading it is emulator
+    /// bookkeeping, not a modeled operation). `data` must fit the
+    /// slot's extent.
+    pub fn seed_version(&mut self, id: ChunkId, slot: u8, data: &[u8]) -> Result<(), HeapError> {
+        let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;
+        let ext =
+            chunk.versions[slot as usize].ok_or(HeapError::MissingVersion { chunk: id, slot })?;
+        assert!(
+            data.len() <= ext.len,
+            "seed_version payload exceeds slot extent"
+        );
+        self.nvm.restore_bytes(self.container, ext.offset, data)?;
+        Ok(())
+    }
+
+    /// Cost-free snapshot of a chunk's DRAM working copy (first
+    /// `chunk.len` bytes). Used to mirror commits into a durable store:
+    /// the devices already charged virtual time for every copy, so the
+    /// mirror must not charge again.
+    pub fn working_copy(&self, id: ChunkId) -> Result<Vec<u8>, HeapError> {
+        let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;
+        let mut data = self.dram.snapshot(chunk.dram_region)?;
+        data.truncate(chunk.len);
+        Ok(data)
+    }
+
     /// Copy a committed version back into the working copy (restart).
     pub fn restore_to_dram(&mut self, id: ChunkId) -> Result<SimDuration, HeapError> {
         let chunk = self.chunks.get(&id).ok_or(HeapError::NoSuchChunk(id))?;

@@ -32,6 +32,23 @@ pub const CHKPT_COORDINATED_NS: &str = "chkpt_coordinated_ns";
 /// Distribution of per-fault handling time (ns).
 pub const CHKPT_FAULT_NS: &str = "chkpt_fault_ns";
 
+// --- Durable store backend (per rank, merged in rank order) ---
+
+/// Bytes written to store media (slot writes + commit records).
+pub const STORE_BYTES_WRITTEN_TOTAL: &str = "store_bytes_written_total";
+/// Durability barriers (fsyncs) issued by the store.
+pub const STORE_FSYNCS_TOTAL: &str = "store_fsyncs_total";
+/// Commit records appended durably.
+pub const STORE_COMMITS_TOTAL: &str = "store_commits_total";
+/// Committed payloads read back from media.
+pub const STORE_PAYLOAD_READS_TOTAL: &str = "store_payload_reads_total";
+/// Bytes of committed payload read back from media.
+pub const STORE_PAYLOAD_READ_BYTES_TOTAL: &str = "store_payload_read_bytes_total";
+/// Recovery scans performed.
+pub const STORE_RECOVERIES_TOTAL: &str = "store_recoveries_total";
+/// Torn/invalid trailing records detected and discarded by recovery.
+pub const STORE_TORN_WRITES_TOTAL: &str = "store_torn_writes_total";
+
 // --- Cluster coordinator ---
 
 /// Distribution of per-rank communication-stall duration (ns).

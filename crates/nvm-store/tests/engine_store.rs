@@ -1,0 +1,305 @@
+//! Engine ↔ store integration: checkpoints mirrored into a real
+//! container file survive the process, restart strategies behave over
+//! media exactly as they do over the emulated device, and attaching a
+//! store never perturbs simulation results.
+
+use nvm_chkpt::{CheckpointEngine, EngineConfig, EngineError, RestartStrategy};
+use nvm_emu::{MemoryDevice, SimDuration, TempDir, VirtualClock};
+use nvm_paging::ChunkId;
+use nvm_store::{Container, FileStore, MemMedia, Persistence};
+
+const MB: usize = 1 << 20;
+const STORE_CAP: usize = 8 * MB;
+
+fn devices() -> (MemoryDevice, MemoryDevice, VirtualClock) {
+    let dram = MemoryDevice::dram(64 * MB);
+    let nvm = MemoryDevice::pcm(64 * MB);
+    (dram, nvm, VirtualClock::new())
+}
+
+fn engine_with(
+    dram: &MemoryDevice,
+    nvm: &MemoryDevice,
+    clock: VirtualClock,
+    store: Option<Box<dyn Persistence>>,
+) -> CheckpointEngine {
+    let mut e =
+        CheckpointEngine::new(7, dram, nvm, 16 * MB, clock, EngineConfig::default()).unwrap();
+    if let Some(s) = store {
+        e.set_persistence(s);
+    }
+    e
+}
+
+/// Three epochs of a small two-chunk workload; returns the chunk ids
+/// in allocation order.
+fn run_three_epochs(e: &mut CheckpointEngine) -> (ChunkId, ChunkId) {
+    let a = e.nvmalloc("a", 4096, true).unwrap();
+    let b = e.nvmalloc("b", 12000, true).unwrap();
+    for epoch in 0u8..3 {
+        e.write(a, 0, &vec![epoch + 1; 4096]).unwrap();
+        e.write(b, 100, &vec![0x40 | epoch; 8000]).unwrap();
+        e.compute(SimDuration::from_millis(200));
+        e.nvchkptall().unwrap();
+    }
+    (a, b)
+}
+
+#[test]
+fn checkpoints_survive_the_process_through_a_file_store() {
+    let tmp = TempDir::new("store-roundtrip").unwrap();
+    let path = tmp.join("rank.store");
+
+    let (a, b, bytes_a, bytes_b) = {
+        let (dram, nvm, clock) = devices();
+        let store = FileStore::open_path(&path, 7, STORE_CAP).unwrap();
+        let mut e = engine_with(&dram, &nvm, clock, Some(Box::new(store)));
+        let (a, b) = run_three_epochs(&mut e);
+        (
+            a,
+            b,
+            e.committed_bytes(a).unwrap(),
+            e.committed_bytes(b).unwrap(),
+        )
+        // engine, devices, clock all drop here: the process is gone.
+    };
+
+    // A brand-new "process" recovers from the file alone.
+    let (dram, nvm, clock) = devices();
+    let store = FileStore::open_existing(&path).unwrap();
+    let (mut e2, report) = CheckpointEngine::restart_from_store(
+        &dram,
+        &nvm,
+        16 * MB,
+        clock,
+        EngineConfig::default(),
+        RestartStrategy::Eager,
+        Box::new(store),
+        nvm_chkpt::Tracer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(report.restored.len(), 2);
+    assert!(report.corrupt.is_empty());
+    assert!(
+        report.duration > SimDuration::ZERO,
+        "restore must cost time"
+    );
+    assert_eq!(e2.committed_bytes(a).unwrap(), bytes_a);
+    assert_eq!(e2.committed_bytes(b).unwrap(), bytes_b);
+    assert_eq!(e2.epoch(), 3, "resume after the last committed epoch");
+
+    // And the revived process can keep checkpointing into the store.
+    e2.write(a, 0, &[9u8; 4096]).unwrap();
+    e2.nvchkptall().unwrap();
+    assert_eq!(e2.committed_bytes(a).unwrap(), vec![9u8; 4096]);
+}
+
+#[test]
+fn lazy_store_restart_never_reads_untouched_chunks_from_media() {
+    let tmp = TempDir::new("store-lazy").unwrap();
+    let path = tmp.join("rank.store");
+    let (a, b) = {
+        let (dram, nvm, clock) = devices();
+        let store = FileStore::open_path(&path, 7, STORE_CAP).unwrap();
+        let mut e = engine_with(&dram, &nvm, clock, Some(Box::new(store)));
+        run_three_epochs(&mut e)
+    };
+
+    let (dram, nvm, clock) = devices();
+    let store = FileStore::open_existing(&path).unwrap();
+    let reads_at_open = store.stats().payload_reads;
+    let (mut e2, report) = CheckpointEngine::restart_from_store(
+        &dram,
+        &nvm,
+        16 * MB,
+        clock,
+        EngineConfig::default(),
+        RestartStrategy::Lazy,
+        Box::new(store),
+        nvm_chkpt::Tracer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(report.deferred.len(), 2);
+    assert!(report.restored.is_empty());
+    let stats = e2.persistence_stats().unwrap();
+    assert_eq!(
+        stats.payload_reads, reads_at_open,
+        "lazy restart must not fetch any payload from media"
+    );
+    assert_eq!(e2.store_lazy_pending_count(), 2);
+
+    // First access to `a` fetches exactly one payload.
+    let mut buf = vec![0u8; 4096];
+    e2.read(a, 0, &mut buf).unwrap();
+    assert_eq!(buf, vec![3u8; 4096]);
+    let stats = e2.persistence_stats().unwrap();
+    assert_eq!(stats.payload_reads, reads_at_open + 1);
+    assert_eq!(e2.store_lazy_pending_count(), 1);
+
+    // `b` stays pinned on media: still never read.
+    let _ = b;
+    assert_eq!(
+        e2.persistence_stats().unwrap().payload_reads,
+        reads_at_open + 1
+    );
+}
+
+#[test]
+fn corrupted_slot_surfaces_on_first_access_not_at_restart() {
+    let tmp = TempDir::new("store-corrupt").unwrap();
+    let path = tmp.join("rank.store");
+    let (a, b) = {
+        let (dram, nvm, clock) = devices();
+        let store = FileStore::open_path(&path, 7, STORE_CAP).unwrap();
+        let mut e = engine_with(&dram, &nvm, clock, Some(Box::new(store)));
+        run_three_epochs(&mut e)
+    };
+
+    // Flip one payload byte of `a` on media.
+    {
+        let mut store = FileStore::open_existing(&path).unwrap();
+        store.corrupt_payload(a).unwrap();
+    }
+
+    let (dram, nvm, clock) = devices();
+    let store = FileStore::open_existing(&path).unwrap();
+    let (mut e2, report) = CheckpointEngine::restart_from_store(
+        &dram,
+        &nvm,
+        16 * MB,
+        clock,
+        EngineConfig::default(),
+        RestartStrategy::Lazy,
+        Box::new(store),
+        nvm_chkpt::Tracer::disabled(),
+    )
+    .unwrap();
+    // Lazy restart succeeds without noticing: nothing was read yet.
+    assert!(report.corrupt.is_empty());
+    assert_eq!(report.deferred.len(), 2);
+
+    // The clean chunk restores fine ...
+    let mut buf = vec![0u8; 100];
+    e2.read(b, 0, &mut buf).unwrap();
+    // ... the corrupted one fails with a checksum error on first touch.
+    let err = e2.read(a, 0, &mut [0u8; 16]).unwrap_err();
+    match err {
+        EngineError::ChecksumMismatch { chunk, .. } => assert_eq!(chunk, a),
+        other => panic!("expected checksum mismatch, got {other:?}"),
+    }
+
+    // An eager restart of the same file reports the corruption up
+    // front instead.
+    let (dram, nvm, clock) = devices();
+    let store = FileStore::open_existing(&path).unwrap();
+    let (_e3, report) = CheckpointEngine::restart_from_store(
+        &dram,
+        &nvm,
+        16 * MB,
+        clock,
+        EngineConfig::default(),
+        RestartStrategy::Eager,
+        Box::new(store),
+        nvm_chkpt::Tracer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(report.corrupt, vec![a]);
+    assert_eq!(report.restored, vec![b]);
+}
+
+#[test]
+fn coordinated_checkpoint_drains_store_lazy_chunks_first() {
+    let tmp = TempDir::new("store-lazy-chkpt").unwrap();
+    let path = tmp.join("rank.store");
+    let (a, b) = {
+        let (dram, nvm, clock) = devices();
+        let store = FileStore::open_path(&path, 7, STORE_CAP).unwrap();
+        let mut e = engine_with(&dram, &nvm, clock, Some(Box::new(store)));
+        run_three_epochs(&mut e)
+    };
+
+    // Lazy restart, then checkpoint immediately without touching
+    // anything: the engine must restore from media before committing,
+    // or it would overwrite good checkpoints with unrestored garbage.
+    let (dram, nvm, clock) = devices();
+    let store = FileStore::open_existing(&path).unwrap();
+    let (mut e2, _) = CheckpointEngine::restart_from_store(
+        &dram,
+        &nvm,
+        16 * MB,
+        clock,
+        EngineConfig::default(),
+        RestartStrategy::Lazy,
+        Box::new(store),
+        nvm_chkpt::Tracer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(e2.store_lazy_pending_count(), 2);
+    e2.nvchkptall().unwrap();
+    assert_eq!(e2.store_lazy_pending_count(), 0);
+    drop(e2);
+
+    // A third process still sees the epoch-2 payloads.
+    let (dram, nvm, clock) = devices();
+    let store = FileStore::open_existing(&path).unwrap();
+    let (e3, _) = CheckpointEngine::restart_from_store(
+        &dram,
+        &nvm,
+        16 * MB,
+        clock,
+        EngineConfig::default(),
+        RestartStrategy::Eager,
+        Box::new(store),
+        nvm_chkpt::Tracer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(e3.committed_bytes(a).unwrap(), vec![3u8; 4096]);
+    let expect_b = {
+        let mut v = vec![0u8; 12000];
+        v[100..8100].fill(0x42);
+        v
+    };
+    assert_eq!(e3.committed_bytes(b).unwrap(), expect_b);
+}
+
+#[test]
+fn attaching_a_store_does_not_perturb_simulation_results() {
+    let run = |store: Option<Box<dyn Persistence>>| {
+        let (dram, nvm, clock) = devices();
+        let mut e = engine_with(&dram, &nvm, clock.clone(), store);
+        run_three_epochs(&mut e);
+        (clock.now(), e.log().to_vec(), e.stats())
+    };
+
+    let (t_plain, log_plain, stats_plain) = run(None);
+    let (t_store, log_store, stats_store) = run(Some(Box::new(
+        Container::open(MemMedia::new(), 7, STORE_CAP).unwrap(),
+    )));
+    assert_eq!(
+        t_plain, t_store,
+        "store mirroring must be free in virtual time"
+    );
+    assert_eq!(log_plain, log_store);
+    assert_eq!(
+        serde_json::to_string(&stats_plain).unwrap(),
+        serde_json::to_string(&stats_store).unwrap()
+    );
+}
+
+#[test]
+fn identical_engine_histories_produce_identical_store_files() {
+    let tmp = TempDir::new("store-determinism").unwrap();
+    let run = |path: &std::path::Path| {
+        let (dram, nvm, clock) = devices();
+        let store = FileStore::open_path(path, 7, STORE_CAP).unwrap();
+        let mut e = engine_with(&dram, &nvm, clock, Some(Box::new(store)));
+        run_three_epochs(&mut e);
+    };
+    let p1 = tmp.join("one.store");
+    let p2 = tmp.join("two.store");
+    run(&p1);
+    run(&p2);
+    let b1 = std::fs::read(&p1).unwrap();
+    let b2 = std::fs::read(&p2).unwrap();
+    assert_eq!(b1, b2, "same history must lay out the same bytes");
+}

@@ -125,6 +125,27 @@ pub enum TraceEventKind {
         /// Virtual nanoseconds spent waiting.
         wait_ns: u64,
     },
+    /// A chunk payload was staged into the durable store's shadow slot.
+    StoreWrite {
+        /// Chunk staged.
+        chunk: u64,
+        /// Payload bytes written to media.
+        bytes: u64,
+    },
+    /// The durable store appended + fsynced a commit record.
+    StoreCommit {
+        /// Epoch made durable.
+        epoch: u64,
+    },
+    /// An engine was rebuilt from a durable store's recovery scan.
+    StoreRecovery {
+        /// Last durable epoch (`None` for a virgin container).
+        epoch: Option<u64>,
+        /// Chunks in the recovered table.
+        chunks: u64,
+        /// Torn trailing records detected and discarded by the scan.
+        torn: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -144,6 +165,9 @@ impl TraceEventKind {
             TraceEventKind::DeviceCharge { .. } => "device_charge",
             TraceEventKind::RankFailure { .. } => "rank_failure",
             TraceEventKind::CommWait { .. } => "comm_wait",
+            TraceEventKind::StoreWrite { .. } => "store_write",
+            TraceEventKind::StoreCommit { .. } => "store_commit",
+            TraceEventKind::StoreRecovery { .. } => "store_recovery",
         }
     }
 }

@@ -107,6 +107,7 @@ impl CheckpointSink for RealRamdiskSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nvm_emu::TempDir;
 
     const MB: usize = 1 << 20;
 
@@ -121,7 +122,10 @@ mod tests {
 
     #[test]
     fn real_ramdisk_sink_writes_file() {
-        let mut s = RealRamdiskSink::new(2 * MB, ramdisk_dir()).unwrap();
+        // Scoped tempdir on the ramdisk filesystem: removed on test
+        // exit even if an assertion fires before the sink's Drop.
+        let tmp = TempDir::new_in(ramdisk_dir(), "ramdisk-sink").unwrap();
+        let mut s = RealRamdiskSink::new(2 * MB, tmp.path().to_path_buf()).unwrap();
         let d = s.checkpoint(2 * MB);
         assert!(!d.is_zero());
         let meta = std::fs::metadata(&s.path).unwrap();
@@ -134,8 +138,9 @@ mod tests {
         // a real measurement: keep the assertion loose (>= 0.9x) to
         // avoid flakiness on exotic CI filesystems, but record the
         // common case (file path slower).
+        let tmp = TempDir::new_in(ramdisk_dir(), "ramdisk-vs-mem").unwrap();
         let mut mem = RealMemorySink::new(8 * MB);
-        let mut rd = RealRamdiskSink::new(8 * MB, ramdisk_dir()).unwrap();
+        let mut rd = RealRamdiskSink::new(8 * MB, tmp.path().to_path_buf()).unwrap();
         mem.checkpoint(8 * MB);
         rd.checkpoint(8 * MB);
         let mut m: Vec<f64> = (0..5)
