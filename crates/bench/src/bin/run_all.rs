@@ -9,8 +9,10 @@
 //! writes its metrics report to PATH as stable-ordered JSON plus a
 //! Prometheus text exposition alongside it; `--store DIR` runs the
 //! durable-store recovery experiment, leaving one container file per
-//! rank under DIR and timing per-rank recovery from those files alone
-//! (incompatible with `--trace`). Unknown flags abort with usage.
+//! rank under DIR and timing per-rank recovery from those files alone.
+//! `--store` combines with `--trace`: the traced run then attaches the
+//! stores too, so store write/commit events appear in the exported
+//! stream. Unknown flags abort with usage.
 use nvm_bench::experiments::*;
 use nvm_bench::report::write_json;
 use nvm_bench::scale::RunArgs;
@@ -99,6 +101,15 @@ fn main() {
         cluster_sim::expected_failures(&rel),
     );
 
+    let ml = multilevel_recovery::run(&scale);
+    for t in multilevel_recovery::render(&ml) {
+        t.print();
+    }
+    if !ml.serial_threaded_identical {
+        eprintln!("WARNING: remote-buddy recovery differed serial vs threaded");
+    }
+    write_json("multilevel_recovery", &ml);
+
     let sc = scaling::run(&scale);
     scaling::render(&sc).print();
     write_json("scaling_threads", &sc);
@@ -131,7 +142,15 @@ fn main() {
     write_json("ext_energy", &energy);
 
     if let Some(path) = &args.trace {
-        let (events, summary) = tracing::run(&scale);
+        // With --store too, the traced run attaches containers of its
+        // own under DIR/trace (so store events appear in the stream)
+        // without touching the recovery experiment's containers, which
+        // land directly under DIR below.
+        let trace_store = args
+            .store
+            .as_deref()
+            .map(|d| std::path::Path::new(d).join("trace"));
+        let (events, summary) = tracing::run(&scale, trace_store.as_deref());
         match tracing::export(&events, path) {
             Ok(()) => {
                 tracing::render(&summary, path).print();

@@ -13,6 +13,7 @@ pub mod local;
 pub mod madbench;
 pub mod metrics;
 pub mod model_val;
+pub mod multilevel_recovery;
 pub mod scaling;
 pub mod store;
 pub mod table1;

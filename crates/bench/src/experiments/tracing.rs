@@ -14,10 +14,15 @@ use nvm_chkpt::PrecopyPolicy;
 use nvm_trace::{summarize, to_chrome_trace, to_jsonl, TraceEvent, TraceSummary};
 
 /// Run the traced simulation and return the merged event stream with
-/// its summary.
-pub fn run(scale: &Scale) -> (Vec<TraceEvent>, TraceSummary) {
+/// its summary. When `store` is given the run also attaches a durable
+/// container per rank under that directory, so the stream carries
+/// `StoreWrite`/`StoreCommit` events alongside the engine events.
+pub fn run(scale: &Scale, store: Option<&std::path::Path>) -> (Vec<TraceEvent>, TraceSummary) {
     let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp).with_trace(true);
     cfg.remote = Some(RemoteConfig::infiniband(scale.local_interval * 2, true));
+    if let Some(dir) = store {
+        cfg = cfg.with_store_dir(dir);
+    }
     let r = ClusterSim::new(cfg, |_| make_app("gtc", scale))
         .expect("traced sim")
         .run()
@@ -71,12 +76,30 @@ mod tests {
 
     #[test]
     fn quick_trace_run_yields_events() {
-        let (events, summary) = run(&Scale::quick());
+        let (events, summary) = run(&Scale::quick(), None);
         assert!(!events.is_empty());
         assert_eq!(summary.events, events.len() as u64);
         assert!(summary.coordinated > 0, "{summary:?}");
         assert!(summary.commit_flips > 0, "{summary:?}");
+        // No store attached, no store events.
+        assert_eq!(summary.store_writes, 0);
+        assert_eq!(summary.store_commits, 0);
         let table = render(&summary, "trace.json");
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn store_attached_trace_carries_store_events() {
+        let tmp = nvm_emu::TempDir::new("bench-trace-store").unwrap();
+        let (events, summary) = run(&Scale::quick(), Some(tmp.path()));
+        assert!(summary.store_writes > 0, "{summary:?}");
+        assert!(summary.store_commits > 0, "{summary:?}");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, nvm_trace::TraceEventKind::StoreCommit { .. })));
+        // The engine-side stream is unchanged by store attachment.
+        let (_, plain) = run(&Scale::quick(), None);
+        assert_eq!(summary.coordinated, plain.coordinated);
+        assert_eq!(summary.commit_flips, plain.commit_flips);
     }
 }

@@ -119,9 +119,9 @@ pub struct RunArgs {
     /// `--store DIR` / `--store=DIR`: run the durable-store recovery
     /// experiment — a store-attached cluster run leaving one container
     /// file per rank under DIR, then per-rank recovery from those
-    /// files alone. Incompatible with `--trace` (a store-attached
-    /// engine emits store events into the trace stream, which would
-    /// change the committed trace baselines).
+    /// files alone. Combines with `--trace`: the traced run then also
+    /// attaches stores, so `StoreWrite`/`StoreCommit` events appear in
+    /// the exported stream.
     pub store: Option<String>,
 }
 
@@ -169,13 +169,6 @@ impl RunArgs {
                 "--store" => out.store = Some(value(&mut it)?),
                 other => return Err(format!("unknown argument {other:?}")),
             }
-        }
-        if out.store.is_some() && out.trace.is_some() {
-            return Err(
-                "--store cannot be combined with --trace: a store-attached engine emits \
-store events into the trace stream, which would change the trace baselines"
-                    .to_string(),
-            );
         }
         Ok(out)
     }
@@ -298,21 +291,25 @@ mod tests {
     }
 
     #[test]
-    fn store_flag_parses_and_rejects_trace_combo() {
+    fn store_flag_parses_and_combines_with_trace() {
         let args = parse(&["--quick", "--store", "out/stores"]).unwrap();
         assert_eq!(args.store.as_deref(), Some("out/stores"));
         let inline = parse(&["--store=d"]).unwrap();
         assert_eq!(inline.store.as_deref(), Some("d"));
         assert!(parse(&["--store"]).unwrap_err().contains("value"));
-        // Order-independent rejection of the incompatible pair.
+        // --store and --trace combine (the traced run attaches the
+        // store and emits store events), in either order.
         for v in [
             &["--store", "d", "--trace", "t.jsonl"][..],
             &["--trace", "t.jsonl", "--store", "d"][..],
         ] {
-            let err = parse(v).unwrap_err();
-            assert!(err.contains("--store cannot be combined"), "got {err}");
+            let both = parse(v).unwrap();
+            assert_eq!(both.store.as_deref(), Some("d"));
+            assert_eq!(both.trace.as_deref(), Some("t.jsonl"));
         }
         // --store alongside the other flags stays fine.
-        assert!(parse(&["--quick", "--metrics", "m.json", "--store", "d"]).is_ok());
+        let full = parse(&["--quick", "--metrics", "m.json", "--store", "d"]).unwrap();
+        assert_eq!(full.metrics.as_deref(), Some("m.json"));
+        assert_eq!(full.store.as_deref(), Some("d"));
     }
 }

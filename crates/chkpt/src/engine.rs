@@ -102,6 +102,28 @@ pub struct RestartReport {
     pub duration: SimDuration,
 }
 
+/// One chunk image fetched from a buddy node's remote container,
+/// ready to be installed by [`CheckpointEngine::restart_from_images`].
+/// The fetch itself (retries, wire time) is the caller's business —
+/// this is the arrived, verified-or-verifiable payload.
+#[derive(Clone, Debug)]
+pub struct RemoteImage {
+    /// Chunk identity, preserved across the restart.
+    pub id: ChunkId,
+    /// Chunk name, preserved across the restart.
+    pub name: String,
+    /// Logical chunk length in bytes (equals `payload.len()` for
+    /// byte-materialized images).
+    pub len: usize,
+    /// CRC-64 recorded at remote-put time; `None` recomputes it from
+    /// the payload on install.
+    pub checksum: Option<u64>,
+    /// Remote epoch the image was committed under.
+    pub epoch: u64,
+    /// The chunk bytes as last committed to the buddy.
+    pub payload: Vec<u8>,
+}
+
 /// The per-process checkpoint engine.
 pub struct CheckpointEngine {
     heap: NvmHeap,
@@ -1068,6 +1090,124 @@ impl CheckpointEngine {
         ))
     }
 
+    /// Rebuild an engine from chunk images fetched off a buddy node's
+    /// remote container — the paper's hard-failure path: the failed
+    /// node's local NVM is gone, so the replacement process is seeded
+    /// entirely from images that crossed the interconnect. Transfer
+    /// costs (retries, wire time) belong to the caller; this charges
+    /// only the install side — NVM seed + DRAM restore per chunk —
+    /// exactly as [`CheckpointEngine::restart_from_store`] charges its
+    /// restores. `next_epoch` sets the rebuilt engine's epoch counter
+    /// (the cluster's local-checkpoint count, so epoch numbering keeps
+    /// advancing instead of rewinding to the remote epoch).
+    /// [`RestartStrategy::Lazy`] is charged as `Eager`: remote images
+    /// only exist because they were already fetched, so there is
+    /// nothing left to defer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restart_from_images(
+        process_id: u64,
+        dram: &MemoryDevice,
+        nvm: &MemoryDevice,
+        container_capacity: usize,
+        clock: VirtualClock,
+        config: EngineConfig,
+        strategy: RestartStrategy,
+        images: &[RemoteImage],
+        next_epoch: u64,
+        tracer: Tracer,
+    ) -> Result<(Self, RestartReport), EngineError> {
+        config.validate()?;
+        if container_capacity == 0 {
+            return Err(ConfigError::ZeroShadowRegion.into());
+        }
+        let t0 = clock.now();
+        let mut heap = NvmHeap::new(
+            process_id,
+            dram,
+            nvm,
+            container_capacity,
+            config.versioning,
+            config.materialization,
+        )?;
+        let metadata = MetadataRegion::create(nvm)?;
+        let mut mmu = Mmu::with_granularity(config.granularity);
+        let mut report = RestartReport::default();
+        let mut restore_cost = SimDuration::ZERO;
+
+        for img in images {
+            let id = heap.nvmalloc_id(img.id, &img.name, img.len, true)?;
+            mmu.register_chunk(id, pages_for(img.len).max(1));
+            let rec = RecoveredChunk {
+                id: img.id,
+                name: img.name.clone(),
+                len: img.len,
+                payload_len: img.payload.len(),
+                checksum: img.checksum.unwrap_or_else(|| crc64(&img.payload)),
+                epoch: img.epoch,
+            };
+            restore_cost += Self::install_recovered(&mut heap, id, &rec, &img.payload)?;
+            mmu.clear_local_dirty(id);
+            mmu.clear_remote_dirty(id);
+            if config.precopy.enabled() {
+                mmu.protect_after_precopy(id);
+            }
+            report.restored.push(id);
+        }
+        match strategy {
+            RestartStrategy::Parallel { streams } if streams > 1 => {
+                let n = streams.min(report.restored.len().max(1));
+                let solo = nvm.per_core_bandwidth(1, 32 << 20);
+                let shared = nvm.per_core_bandwidth(n, 32 << 20);
+                let slowdown = (solo / shared).max(1.0);
+                clock.advance(SimDuration::from_secs_f64(
+                    restore_cost.as_secs_f64() * slowdown / n as f64,
+                ));
+            }
+            _ => {
+                clock.advance(restore_cost);
+            }
+        }
+        report.duration = clock.now().since(t0);
+        let now = clock.now();
+        tracer.emit(
+            now.as_nanos(),
+            TraceEventKind::Restart {
+                strategy: strategy.name().to_string(),
+                chunks: report.restored.len() as u64,
+            },
+        );
+        let stats = EngineStats {
+            restarts: 1,
+            ..EngineStats::default()
+        };
+        Ok((
+            CheckpointEngine {
+                heap,
+                mmu,
+                clock,
+                config,
+                metadata,
+                predictor: PredictionTable::new(),
+                planner: PrecopyPlanner::new(),
+                epoch: next_epoch,
+                interval_start: now,
+                precopy_done: BTreeSet::new(),
+                precopy_credit_secs: 0.0,
+                epoch_precopied: 0,
+                epoch_wasted: 0,
+                faults_at_interval_start: 0,
+                lazy_pending: BTreeSet::new(),
+                lazy_store_pending: BTreeMap::new(),
+                persistence: None,
+                stats,
+                log: Vec::new(),
+                tracer,
+                metrics: Metrics::disabled(),
+            },
+            report,
+        ))
+    }
+
     /// Install one payload recovered from a durable store into a
     /// freshly allocated chunk: seed the NVM version slot (free —
     /// those bytes survived on the medium), mark it committed, and
@@ -1988,5 +2128,100 @@ mod tests {
             clock.now().as_nanos()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn restart_from_images_rebuilds_the_process_bit_for_bit() {
+        // Simulate the buddy's view: capture committed chunk images
+        // from a byte-materialized engine, kill it, and rebuild a new
+        // process on fresh devices from the images alone.
+        let config = EngineConfig::builder()
+            .materialization(Materialization::Bytes)
+            .checksums(true)
+            .build()
+            .unwrap();
+        let (mut e, _, _, _) = setup(config);
+        let a = e.nvmalloc("a", 4096, true).unwrap();
+        let b = e.nvmalloc("b", 10_000, true).unwrap();
+        let bytes_a: Vec<u8> = (0..4096).map(|i| (i % 253) as u8).collect();
+        let bytes_b: Vec<u8> = (0..10_000).map(|i| (i % 101 + 3) as u8).collect();
+        e.write(a, 0, &bytes_a).unwrap();
+        e.write(b, 0, &bytes_b).unwrap();
+        e.nvchkptall().unwrap();
+
+        let images: Vec<RemoteImage> = [(a, "a"), (b, "b")]
+            .iter()
+            .map(|&(id, name)| {
+                let payload = e.committed_bytes(id).unwrap();
+                RemoteImage {
+                    id,
+                    name: name.to_string(),
+                    len: payload.len(),
+                    checksum: Some(crc64(&payload)),
+                    epoch: 0,
+                    payload,
+                }
+            })
+            .collect();
+        drop(e); // hard failure: node, devices, everything gone
+
+        let dram = MemoryDevice::dram(256 * MB);
+        let nvm = MemoryDevice::pcm(256 * MB);
+        let clock = VirtualClock::new();
+        let (e2, report) = CheckpointEngine::restart_from_images(
+            0,
+            &dram,
+            &nvm,
+            128 * MB,
+            clock,
+            config,
+            RestartStrategy::Eager,
+            &images,
+            5,
+            Tracer::disabled(),
+        )
+        .unwrap();
+        assert_eq!(report.restored, vec![a, b]);
+        assert!(report.corrupt.is_empty());
+        assert!(report.duration > SimDuration::ZERO, "restore costs time");
+        assert_eq!(e2.committed_bytes(a).unwrap(), bytes_a);
+        assert_eq!(e2.committed_bytes(b).unwrap(), bytes_b);
+        assert_eq!(e2.epoch(), 5, "epoch counter resumes where told");
+        assert_eq!(e2.stats().restarts, 1);
+    }
+
+    #[test]
+    fn restart_from_images_rejects_length_mismatch() {
+        let config = EngineConfig::builder()
+            .materialization(Materialization::Bytes)
+            .build()
+            .unwrap();
+        let dram = MemoryDevice::dram(64 * MB);
+        let nvm = MemoryDevice::pcm(64 * MB);
+        let images = vec![RemoteImage {
+            id: ChunkId(1),
+            name: "x".into(),
+            len: 4096,
+            checksum: None,
+            epoch: 0,
+            payload: vec![0u8; 100], // truncated in flight
+        }];
+        let result = CheckpointEngine::restart_from_images(
+            0,
+            &dram,
+            &nvm,
+            32 * MB,
+            VirtualClock::new(),
+            config,
+            RestartStrategy::Eager,
+            &images,
+            0,
+            Tracer::disabled(),
+        );
+        match result {
+            Err(EngineError::Store(PersistError::Corrupt(_))) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("length mismatch must be rejected"),
+        }
     }
 }

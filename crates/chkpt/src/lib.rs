@@ -56,7 +56,7 @@ pub mod transparent;
 
 pub use compress::{compress, decompress, CompressionModel, CompressionStats};
 pub use config::{ConfigError, EngineConfig, EngineConfigBuilder, PrecopyPolicy};
-pub use engine::{CheckpointEngine, EngineError, RestartReport};
+pub use engine::{CheckpointEngine, EngineError, RemoteImage, RestartReport};
 pub use persist::{
     PersistError, Persistence, RecoveredChunk, RecoveredState, StoreStats, SyntheticPayload,
 };

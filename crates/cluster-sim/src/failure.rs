@@ -49,6 +49,28 @@ pub struct FailureSchedule {
     events: Vec<FailureEvent>,
 }
 
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation used
+/// to derive independent per-stream RNG seeds from one run seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seed of one (node, kind) Poisson stream: the run seed mixed with
+/// the stream index. Every stream draws from its own RNG, so a node's
+/// schedule never depends on how many events *other* nodes drew — the
+/// schedule is stable when the cluster is resized or the horizon of a
+/// different stream changes.
+fn stream_seed(seed: u64, node: usize, kind: FailureKind) -> u64 {
+    let kind_ix = match kind {
+        FailureKind::Soft => 0u64,
+        FailureKind::Hard => 1u64,
+    };
+    splitmix64(seed ^ splitmix64((node as u64) * 2 + kind_ix))
+}
+
 impl FailureSchedule {
     /// An empty schedule (failure-free run).
     pub fn none() -> Self {
@@ -56,14 +78,17 @@ impl FailureSchedule {
     }
 
     /// Generate a schedule covering `[0, horizon)` for `nodes` nodes.
+    /// Each (node, kind) pair samples an independent sub-seeded RNG,
+    /// so node 0's events at `nodes = 2` are identical to its events
+    /// at `nodes = 8` on the same seed.
     pub fn generate(cfg: &FailureConfig, horizon: SimTime, nodes: usize) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut events = Vec::new();
         for node in 0..nodes {
             for (kind, mtbf) in [
                 (FailureKind::Soft, cfg.mtbf_soft),
                 (FailureKind::Hard, cfg.mtbf_hard),
             ] {
+                let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, node, kind));
                 let rate = 1.0 / mtbf.as_secs_f64();
                 let exp = Exp::new(rate).expect("positive rate");
                 let mut t = 0.0;
@@ -77,7 +102,15 @@ impl FailureSchedule {
                 }
             }
         }
-        events.sort_by_key(|e| e.at);
+        Self::from_events(events)
+    }
+
+    /// Build a schedule from explicit events (scripted failure
+    /// scenarios, regression tests). Events are sorted into time order
+    /// with `(node, kind)` tie-breaks, matching what
+    /// [`FailureSchedule::generate`] produces.
+    pub fn from_events(mut events: Vec<FailureEvent>) -> Self {
+        events.sort_by_key(|e| (e.at, e.node, e.kind == FailureKind::Hard));
         FailureSchedule { events }
     }
 
@@ -128,6 +161,52 @@ mod tests {
         assert_eq!(a, b);
         let c = FailureSchedule::generate(&cfg(8), horizon, 4);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn node_schedules_stable_under_cluster_resize() {
+        // The regression this pins: one sequential RNG across nodes
+        // meant node 0's draws shifted whenever the cluster grew. With
+        // per-(node, kind) sub-seeds, a node's events are a function of
+        // (seed, node) alone.
+        let horizon = SimTime::from_secs(10_000);
+        let small = FailureSchedule::generate(&cfg(7), horizon, 2);
+        let big = FailureSchedule::generate(&cfg(7), horizon, 8);
+        for node in 0..2 {
+            let a: Vec<FailureEvent> = small
+                .events()
+                .iter()
+                .filter(|e| e.node == node)
+                .copied()
+                .collect();
+            let b: Vec<FailureEvent> = big
+                .events()
+                .iter()
+                .filter(|e| e.node == node)
+                .copied()
+                .collect();
+            assert!(!a.is_empty(), "node {node} drew no events");
+            assert_eq!(a, b, "node {node} schedule changed with cluster size");
+        }
+    }
+
+    #[test]
+    fn from_events_sorts_into_time_order() {
+        let ev = |secs: u64, kind, node| FailureEvent {
+            at: SimTime::from_secs(secs),
+            kind,
+            node,
+        };
+        let s = FailureSchedule::from_events(vec![
+            ev(30, FailureKind::Hard, 1),
+            ev(10, FailureKind::Soft, 0),
+            ev(10, FailureKind::Hard, 0),
+        ]);
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Same-time tie-break: soft before hard on the same node.
+        assert_eq!(s.events()[0].kind, FailureKind::Soft);
+        assert_eq!(s.events()[1].kind, FailureKind::Hard);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod app;
 pub mod comm;
 pub mod failure;
 pub mod model;
+pub mod recovery;
 pub mod reliability;
 pub mod run;
 pub mod schedule;
@@ -49,7 +50,11 @@ pub use failure::{FailureConfig, FailureEvent, FailureKind, FailureSchedule};
 pub use model::{
     evaluate, optimal_interval, plan_two_level, ModelParams, ModelPrediction, TwoLevelPlan,
 };
-pub use reliability::{expected_failures, unrecoverable_probability, ReliabilityParams};
+pub use recovery::{collapse_batch, RecoveredChunkRecord, RecoveryRecord, RecoverySource};
+pub use reliability::{
+    expected_failures, schedule_loses_pair, simulated_unrecoverable_rate,
+    unrecoverable_probability, unrecoverable_probability_for, BuddyTopology, ReliabilityParams,
+};
 pub use run::{ClusterConfig, ClusterSim, RemoteConfig, RunResult, SimError};
 pub use schedule::{Activity, ScheduleTrace, Span};
 pub use store::{recover_store_dir, RankRecovery};

@@ -246,6 +246,227 @@ mod tests {
         );
     }
 
+    // ---- byte-level hard-failure recovery --------------------------
+
+    use crate::failure::{FailureEvent, FailureKind, FailureSchedule};
+    use crate::recovery::RecoverySource;
+    use crate::run::RemoteConfig;
+    use nvm_chkpt::checksum::crc64;
+    use nvm_emu::SimTime;
+
+    /// `store_config` plus remote checkpointing, long enough for two
+    /// remote epochs to commit before a late hard failure.
+    fn recovery_config(precopy: bool) -> ClusterConfig {
+        let mut c = store_config();
+        c.iterations = 20;
+        c.engine = c.engine.with_precopy(if precopy {
+            nvm_chkpt::PrecopyPolicy::Dcpcp
+        } else {
+            nvm_chkpt::PrecopyPolicy::None
+        });
+        c.remote = Some(RemoteConfig::infiniband(
+            SimDuration::from_secs(40),
+            precopy,
+        ));
+        c
+    }
+
+    fn hard_at(secs: u64, node: usize) -> FailureSchedule {
+        FailureSchedule::from_events(vec![FailureEvent {
+            at: SimTime::from_secs(secs),
+            kind: FailureKind::Hard,
+            node,
+        }])
+    }
+
+    #[test]
+    fn hard_failed_node_recovers_bit_for_bit_from_its_buddy() {
+        // No durable store: the only surviving copy of node 1's state
+        // is the remote container hosted on node 0's NVM. Every byte
+        // of both ranks must come back over the interconnect and match
+        // the workload's deterministic pattern exactly.
+        let cfg = recovery_config(false).with_failure_schedule(hard_at(100, 1));
+        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        assert_eq!(r.hard_failures, 1);
+        assert_eq!(r.recovery.len(), 1);
+        let rec = &r.recovery[0];
+        assert_eq!(rec.node, 1);
+        assert_eq!(rec.source, RecoverySource::RemoteBuddy);
+        // 2 ranks x 2 chunks, all fetched and verified.
+        assert_eq!(rec.verified_chunks, 4);
+        assert_eq!(rec.bytes_fetched, 4 * CHUNK_BYTES as u64);
+        assert_eq!(rec.chunks.len(), 4);
+        for c in &rec.chunks {
+            assert_eq!(c.len, CHUNK_BYTES as u64);
+            // Chunk ids are name hashes; the workload's pattern is
+            // keyed by the index embedded in the chunk name.
+            let idx: usize = c
+                .name
+                .strip_prefix("data_")
+                .expect("workload chunk name")
+                .parse()
+                .unwrap();
+            assert_eq!(
+                c.checksum,
+                crc64(&pattern(c.rank, idx, CHUNK_BYTES)),
+                "rank {} chunk {} must restore bit-for-bit",
+                c.rank,
+                c.name
+            );
+        }
+        // The buddy that hosted node 1's images also had *its* remote
+        // copy re-replicated (it lived on node 1's wiped NVM).
+        assert_eq!(rec.reprotected_bytes, 4 * CHUNK_BYTES as u64);
+        assert!(rec.duration > SimDuration::ZERO);
+        // The run rolls back to the restored remote epoch and then
+        // completes all 20 iterations.
+        assert!(r.lost_iterations > 0);
+        assert_eq!(r.iterations_executed, 20 + r.lost_iterations);
+        assert_eq!(r.engine_stats.restarts, 2, "both revived ranks count");
+    }
+
+    #[test]
+    fn staged_remote_data_is_discarded_in_favor_of_the_last_epoch() {
+        // Pre-copy continuously stages chunks into the buddy store
+        // between remote boundaries. A hard failure mid-interval must
+        // restore the last *committed* epoch — the staged partial
+        // epoch is never fetched.
+        let cfg = recovery_config(true).with_failure_schedule(hard_at(100, 1));
+        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let rec = &r.recovery[0];
+        assert_eq!(rec.source, RecoverySource::RemoteBuddy);
+        let restored = rec.remote_epoch.expect("a remote epoch existed");
+        // Strictly fewer epochs were committed at failure time than by
+        // the end of the run: the restored epoch is a *previous* one.
+        assert!(
+            restored < r.remote_checkpoints - 1,
+            "restored epoch {restored} of {}",
+            r.remote_checkpoints
+        );
+        assert_eq!(rec.verified_chunks, 4);
+    }
+
+    #[test]
+    fn hard_failure_before_any_remote_checkpoint_recovers_to_virgin() {
+        // The failure strikes before the first remote commit and there
+        // is no durable store: nothing recoverable exists anywhere.
+        // That is a restart from scratch, not a panic and not an
+        // unrecoverable error.
+        let cfg = recovery_config(false).with_failure_schedule(hard_at(10, 1));
+        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let rec = &r.recovery[0];
+        assert_eq!(rec.source, RecoverySource::Virgin);
+        assert_eq!(rec.remote_epoch, None);
+        assert_eq!(rec.bytes_fetched, 0);
+        assert_eq!(rec.verified_chunks, 0);
+        assert_eq!(r.iterations_executed, 20 + r.lost_iterations);
+    }
+
+    #[test]
+    fn local_store_outranks_the_remote_buddy() {
+        // With intact per-rank containers the ladder's first rung wins:
+        // nothing crosses the interconnect and the rollback only goes
+        // to the last *local* checkpoint.
+        let tmp = TempDir::new("recovery-local").unwrap();
+        // 80 s: several local checkpoints have committed, but the only
+        // remote epoch committed so far (the first burst boundary at
+        // ~48 s) is empty — commit runs before shipping — so the
+        // store-less baseline can only restart virgin. With containers,
+        // rung 1 rolls back merely to the last local checkpoint.
+        let cfg = recovery_config(false)
+            .with_store_dir(tmp.path())
+            .with_failure_schedule(hard_at(80, 1));
+        let remote = ClusterSim::new(
+            recovery_config(false).with_failure_schedule(hard_at(80, 1)),
+            factory,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let local = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        // The committed-but-empty first remote epoch is not a usable
+        // restore point: the baseline walked down to virgin.
+        assert_eq!(remote.recovery[0].source, RecoverySource::Virgin);
+        let rec = &local.recovery[0];
+        assert_eq!(rec.source, RecoverySource::LocalStore);
+        assert_eq!(rec.bytes_fetched, 0);
+        assert!(
+            local.lost_iterations < remote.lost_iterations,
+            "local rung rolls back less: {} vs {}",
+            local.lost_iterations,
+            remote.lost_iterations
+        );
+        // The revived ranks keep mirroring: the directory is still
+        // fully recoverable after the run.
+        let recoveries = recover_store_dir(tmp.path()).unwrap();
+        assert_eq!(recoveries.len(), 4);
+    }
+
+    #[test]
+    fn unusable_local_store_falls_back_to_the_ladder() {
+        // Containers exist but are virgin when the failure strikes
+        // (before the first local checkpoint): the probe rejects them,
+        // the fallback counter fires, and recovery walks down to the
+        // virgin rung (no remote epoch exists that early either).
+        let tmp = TempDir::new("recovery-fallback").unwrap();
+        let cfg = recovery_config(false)
+            .with_store_dir(tmp.path())
+            .with_metrics(true)
+            .with_failure_schedule(hard_at(10, 1));
+        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        assert_eq!(r.recovery[0].source, RecoverySource::Virgin);
+        let snap = &r.metrics.as_ref().unwrap().snapshot;
+        assert_eq!(snap.counter(nvm_metrics::names::RECOVERY_HARD_TOTAL), 1);
+        assert_eq!(
+            snap.counter(nvm_metrics::names::RECOVERY_FALLBACK_REMOTE_TOTAL),
+            1
+        );
+    }
+
+    #[test]
+    fn recovery_is_bit_identical_serial_vs_threaded() {
+        // The whole hard-failure path — fetch order, retry charges,
+        // re-protection, rollback — runs on the coordinator, so a
+        // threaded run must produce a byte-identical RunResult.
+        let cfg = recovery_config(true)
+            .with_trace(true)
+            .with_failure_schedule(hard_at(100, 1));
+        let serial = ClusterSim::new(cfg.clone(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        let threaded = ClusterSim::new(cfg.with_threads(4), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(serial.recovery[0].source, RecoverySource::RemoteBuddy);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&threaded).unwrap()
+        );
+    }
+
+    #[test]
+    fn recovery_events_appear_in_the_trace() {
+        let cfg = recovery_config(false)
+            .with_trace(true)
+            .with_failure_schedule(hard_at(100, 1));
+        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let summary = nvm_trace::summarize(&r.trace);
+        assert_eq!(summary.recoveries, 1);
+        let starts: Vec<_> = r
+            .trace
+            .iter()
+            .filter_map(|e| match &e.kind {
+                nvm_trace::TraceEventKind::RecoveryStart { node, source } => {
+                    Some((*node, source.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![(1, "remote-buddy".to_string())]);
+    }
+
     #[test]
     fn recover_store_dir_rejects_a_misnamed_container() {
         let tmp = TempDir::new("cluster-store-misnamed").unwrap();

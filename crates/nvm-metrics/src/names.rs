@@ -56,6 +56,22 @@ pub const CLUSTER_COMM_STALL_NS: &str = "cluster_comm_stall_ns";
 /// Barrier synchronisations executed by the coordinator.
 pub const CLUSTER_BARRIERS_TOTAL: &str = "cluster_barriers_total";
 
+// --- Hard-failure recovery (coordinator) ---
+
+/// Hard node failures recovered (any source).
+pub const RECOVERY_HARD_TOTAL: &str = "recovery_hard_total";
+/// Bytes pulled over the interconnect during recovery.
+pub const RECOVERY_BYTES_FETCHED_TOTAL: &str = "recovery_bytes_fetched_total";
+/// Recovery transfer attempts lost to link faults and retried.
+pub const RECOVERY_RETRIES_TOTAL: &str = "recovery_retries_total";
+/// Restored chunks verified bit-for-bit against their images.
+pub const RECOVERY_CHUNKS_VERIFIED_TOTAL: &str = "recovery_chunks_verified_total";
+/// Recoveries that fell back local-store → remote-buddy (container
+/// absent or corrupt).
+pub const RECOVERY_FALLBACK_REMOTE_TOTAL: &str = "recovery_fallback_remote_total";
+/// Distribution of per-node recovery duration (ns).
+pub const RECOVERY_TIME_NS: &str = "recovery_time_ns";
+
 // --- RDMA helper process (per node, merged in node order) ---
 
 /// Virtual time the helper core was busy.

@@ -146,6 +146,32 @@ pub enum TraceEventKind {
         /// Torn trailing records detected and discarded by the scan.
         torn: u64,
     },
+    /// Hard-failure recovery of a node began.
+    RecoveryStart {
+        /// Node being recovered.
+        node: u64,
+        /// Recovery source (`local-store`, `remote-buddy`, `virgin`,
+        /// `modeled`).
+        source: String,
+    },
+    /// A recovery transfer attempt was lost and retried.
+    RecoveryRetry {
+        /// Rank whose chunk was being fetched.
+        rank: u64,
+        /// Chunk being fetched.
+        chunk: u64,
+        /// Attempt number that finally succeeded (>= 2).
+        attempt: u64,
+    },
+    /// Hard-failure recovery of a node completed.
+    RecoveryEnd {
+        /// Node recovered.
+        node: u64,
+        /// Bytes pulled over the interconnect.
+        bytes: u64,
+        /// Chunks verified bit-for-bit against the recovered images.
+        verified: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -168,6 +194,9 @@ impl TraceEventKind {
             TraceEventKind::StoreWrite { .. } => "store_write",
             TraceEventKind::StoreCommit { .. } => "store_commit",
             TraceEventKind::StoreRecovery { .. } => "store_recovery",
+            TraceEventKind::RecoveryStart { .. } => "recovery_start",
+            TraceEventKind::RecoveryRetry { .. } => "recovery_retry",
+            TraceEventKind::RecoveryEnd { .. } => "recovery_end",
         }
     }
 }
@@ -477,6 +506,14 @@ pub struct TraceSummary {
     pub remote_bytes: u64,
     /// Rank failures.
     pub rank_failures: u64,
+    /// Hard-failure node recoveries completed.
+    pub recoveries: u64,
+    /// Recovery transfer attempts that were lost and retried.
+    pub recovery_retries: u64,
+    /// Durable-store chunk writes.
+    pub store_writes: u64,
+    /// Durable-store epoch commits.
+    pub store_commits: u64,
 }
 
 /// Summarize an event stream.
@@ -498,6 +535,10 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
                 s.remote_bytes += bytes;
             }
             TraceEventKind::RankFailure { .. } => s.rank_failures += 1,
+            TraceEventKind::RecoveryEnd { .. } => s.recoveries += 1,
+            TraceEventKind::RecoveryRetry { .. } => s.recovery_retries += 1,
+            TraceEventKind::StoreWrite { .. } => s.store_writes += 1,
+            TraceEventKind::StoreCommit { .. } => s.store_commits += 1,
             _ => {}
         }
     }

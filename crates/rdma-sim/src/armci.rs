@@ -27,6 +27,9 @@ struct RemoteEntry {
     /// committed version's checksum.
     checksums: [Option<u64>; 2],
     epoch: u64,
+    /// Variable name of the source chunk, if the sender recorded it —
+    /// needed when a failed rank is rebuilt from this store alone.
+    name: Option<String>,
 }
 
 /// Errors from the remote store.
@@ -41,14 +44,37 @@ pub enum RemoteError {
     NothingCommitted(RemoteKey),
     /// Fetched bytes do not match the stored checksum.
     ChecksumMismatch(RemoteKey),
+    /// A recovery transfer was lost on the wire (injected link fault).
+    LinkFault {
+        /// Entry whose transfer was lost.
+        key: RemoteKey,
+        /// 1-based attempt number that was lost.
+        attempt: u32,
+    },
+    /// Every retry of a recovery transfer was lost.
+    RetriesExhausted {
+        /// Entry whose transfers kept failing.
+        key: RemoteKey,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// XOR-parity reconstruction fallback failed.
+    Parity(crate::erasure::ErasureError),
 }
 
 nvm_emu::error_enum! {
     RemoteError, f {
         wrap Device(DeviceError) => "remote device",
+        wrap Parity(crate::erasure::ErasureError) => "parity fallback",
         leaf RemoteError::NoSuchEntry(k) => write!(f, "no remote entry for {k:?}"),
         leaf RemoteError::NothingCommitted(k) => write!(f, "nothing committed for {k:?}"),
         leaf RemoteError::ChecksumMismatch(k) => write!(f, "remote checksum mismatch for {k:?}"),
+        leaf RemoteError::LinkFault { key, attempt } => {
+            write!(f, "recovery transfer for {key:?} lost on attempt {attempt}")
+        },
+        leaf RemoteError::RetriesExhausted { key, attempts } => {
+            write!(f, "recovery of {key:?} gave up after {attempts} lost transfers")
+        },
     }
 }
 
@@ -80,6 +106,7 @@ impl RemoteStore {
                     for slot in old.slots.iter_mut().flatten() {
                         self.nvm.free(*slot)?;
                     }
+                    let name = old.name.take();
                     *old = RemoteEntry {
                         len,
                         slots: [None, None],
@@ -87,6 +114,7 @@ impl RemoteStore {
                         staged: None,
                         checksums: [None, None],
                         epoch: 0,
+                        name,
                     };
                 }
                 Ok(())
@@ -99,6 +127,7 @@ impl RemoteStore {
                     staged: None,
                     checksums: [None, None],
                     epoch: 0,
+                    name: None,
                 });
                 Ok(())
             }
@@ -208,11 +237,89 @@ impl RemoteStore {
         Ok((buf, cost))
     }
 
+    /// Charge the cost of fetching a committed chunk without
+    /// materializing bytes (size-only runs). Returns the logical
+    /// length and the remote NVM read cost.
+    pub fn fetch_synthetic(
+        &self,
+        rank: u64,
+        chunk: ChunkId,
+    ) -> Result<(usize, SimDuration), RemoteError> {
+        let key = (rank, chunk);
+        let entry = self
+            .entries
+            .get(&key)
+            .ok_or(RemoteError::NoSuchEntry(key))?;
+        let slot = entry.committed.ok_or(RemoteError::NothingCommitted(key))?;
+        let region = entry.slots[slot as usize].expect("committed slot allocated");
+        let cost = self.nvm.read_synthetic(region, 0, entry.len, 1)?;
+        Ok((entry.len, cost))
+    }
+
     /// Committed epoch of a chunk, if any.
     pub fn committed_epoch(&self, rank: u64, chunk: ChunkId) -> Option<u64> {
         self.entries
             .get(&(rank, chunk))
             .and_then(|e| e.committed.map(|_| e.epoch))
+    }
+
+    /// Record the variable name of an entry (used when a failed rank
+    /// is rebuilt from this store: the name is part of the chunk
+    /// table a fresh engine needs).
+    pub fn set_chunk_name(
+        &mut self,
+        rank: u64,
+        chunk: ChunkId,
+        name: &str,
+    ) -> Result<(), RemoteError> {
+        let key = (rank, chunk);
+        let entry = self
+            .entries
+            .get_mut(&key)
+            .ok_or(RemoteError::NoSuchEntry(key))?;
+        entry.name = Some(name.to_string());
+        Ok(())
+    }
+
+    /// Recorded variable name of an entry, if the sender set one.
+    pub fn chunk_name(&self, rank: u64, chunk: ChunkId) -> Option<&str> {
+        self.entries
+            .get(&(rank, chunk))
+            .and_then(|e| e.name.as_deref())
+    }
+
+    /// Logical length of an entry.
+    pub fn chunk_len(&self, rank: u64, chunk: ChunkId) -> Option<usize> {
+        self.entries.get(&(rank, chunk)).map(|e| e.len)
+    }
+
+    /// Chunk ids of `rank` holding a committed version, sorted — the
+    /// enumeration a recovery walks to rebuild the rank.
+    pub fn committed_chunks(&self, rank: u64) -> Vec<ChunkId> {
+        let mut ids: Vec<ChunkId> = self
+            .entries
+            .iter()
+            .filter(|((r, _), e)| *r == rank && e.committed.is_some())
+            .map(|((_, c), _)| *c)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Overwrite a committed slot's bytes *without* updating its
+    /// checksum — silent remote corruption, for fault-injection tests
+    /// of the checksum-verified fetch and the parity fallback.
+    pub fn corrupt_committed(&mut self, rank: u64, chunk: ChunkId) -> Result<(), RemoteError> {
+        let key = (rank, chunk);
+        let entry = self
+            .entries
+            .get(&key)
+            .ok_or(RemoteError::NoSuchEntry(key))?;
+        let slot = entry.committed.ok_or(RemoteError::NothingCommitted(key))?;
+        let region = entry.slots[slot as usize].expect("committed slot allocated");
+        let garbage = vec![0x5Au8; entry.len.min(64)];
+        self.nvm.write(region, 0, &garbage, 1)?;
+        Ok(())
     }
 
     /// Number of (rank, chunk) entries.

@@ -22,10 +22,15 @@ pub mod armci;
 pub mod erasure;
 pub mod helper;
 pub mod link;
+pub mod recovery;
 pub mod trace;
 
 pub use armci::{RemoteError, RemoteStore};
 pub use erasure::{ErasureError, ParityStore};
 pub use helper::{HelperParams, HelperProcess, HelperStats};
 pub use link::{Link, LinkStats, IB_40GBPS};
+pub use recovery::{
+    fetch_synthetic_with_retry, fetch_with_parity_fallback, fetch_with_retry, FaultModel,
+    FetchOutcome, RetryPolicy,
+};
 pub use trace::UsageTrace;
