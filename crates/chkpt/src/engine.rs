@@ -36,7 +36,7 @@ use nvm_emu::{
     pages_for, DeviceError, MemoryDevice, RegionId, SimDuration, SimTime, VirtualClock, PAGE_SIZE,
 };
 use nvm_heap::{HeapError, Materialization, NvmHeap};
-use nvm_metrics::{names, Metrics};
+use nvm_metrics::{names, CounterHandle, HistogramHandle, Metrics};
 use nvm_paging::metadata::MetadataError;
 use nvm_paging::{ChunkId, MetadataRegion, Mmu};
 use nvm_trace::{TraceEventKind, Tracer};
@@ -160,6 +160,38 @@ pub struct CheckpointEngine {
     /// Aggregate-metrics handle; disabled (one branch per update) by
     /// default.
     metrics: Metrics,
+    /// Lock-free cells for the per-write/per-copy metrics, resolved
+    /// once at attach so the simulate loop never locks a registry or
+    /// walks the name map.
+    hot: HotMetrics,
+}
+
+/// Pre-resolved handles for the metrics updated inside the simulate
+/// loop (per protection fault / per pre-copy drain). Per-epoch metrics
+/// stay on the name-keyed locked path, which is cold.
+#[derive(Clone, Default)]
+struct HotMetrics {
+    faults_total: CounterHandle,
+    fault_time_ns_total: CounterHandle,
+    fault_ns: HistogramHandle,
+    wasted_precopy_bytes_total: CounterHandle,
+    interference_time_ns_total: CounterHandle,
+    precopied_bytes_total: CounterHandle,
+}
+
+impl HotMetrics {
+    fn resolve(metrics: &Metrics) -> Self {
+        HotMetrics {
+            faults_total: metrics.counter_handle(names::CHKPT_FAULTS_TOTAL),
+            fault_time_ns_total: metrics.counter_handle(names::CHKPT_FAULT_TIME_NS_TOTAL),
+            fault_ns: metrics.histogram_handle(names::CHKPT_FAULT_NS),
+            wasted_precopy_bytes_total: metrics
+                .counter_handle(names::CHKPT_WASTED_PRECOPY_BYTES_TOTAL),
+            interference_time_ns_total: metrics
+                .counter_handle(names::CHKPT_INTERFERENCE_TIME_NS_TOTAL),
+            precopied_bytes_total: metrics.counter_handle(names::CHKPT_PRECOPIED_BYTES_TOTAL),
+        }
+    }
 }
 
 impl CheckpointEngine {
@@ -209,6 +241,7 @@ impl CheckpointEngine {
             log: Vec::new(),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+            hot: HotMetrics::default(),
         })
     }
 
@@ -229,6 +262,7 @@ impl CheckpointEngine {
     /// coordinated phases, and latency distributions record into it.
     /// Pass [`Metrics::disabled`] to detach.
     pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.hot = HotMetrics::resolve(&metrics);
         self.metrics = metrics;
     }
 
@@ -420,12 +454,9 @@ impl CheckpointEngine {
             self.stats.fault_time += out.cost;
             if out.faults > 0 {
                 self.trace(TraceEventKind::ProtectionFault { chunk: id.0 });
-                self.metrics
-                    .counter_add(names::CHKPT_FAULTS_TOTAL, out.faults as u64);
-                self.metrics
-                    .counter_add(names::CHKPT_FAULT_TIME_NS_TOTAL, out.cost.as_nanos());
-                self.metrics
-                    .observe(names::CHKPT_FAULT_NS, out.cost.as_nanos());
+                self.hot.faults_total.add(out.faults as u64);
+                self.hot.fault_time_ns_total.add(out.cost.as_nanos());
+                self.hot.fault_ns.observe(out.cost.as_nanos());
             }
             self.predictor.record_modification(id);
             if self.precopy_done.remove(&id) {
@@ -434,8 +465,7 @@ impl CheckpointEngine {
                 self.stats.wasted_precopy_bytes += chunk_len as u64;
                 self.epoch_wasted += chunk_len as u64;
                 self.trace(TraceEventKind::PrecopyWaste { chunk: id.0 });
-                self.metrics
-                    .counter_add(names::CHKPT_WASTED_PRECOPY_BYTES_TOTAL, chunk_len as u64);
+                self.hot.wasted_precopy_bytes_total.add(chunk_len as u64);
             }
         }
         self.clock.advance(total);
@@ -462,8 +492,7 @@ impl CheckpointEngine {
             if self.tracer.enabled() {
                 let candidates = self
                     .heap
-                    .persistent_ids()
-                    .into_iter()
+                    .iter_persistent_ids()
                     .filter(|id| self.is_precopy_candidate(*id))
                     .count() as u64;
                 self.trace(TraceEventKind::PrecopyStart {
@@ -474,10 +503,9 @@ impl CheckpointEngine {
             let copied_time = self.run_precopy(window);
             interference = copied_time * self.config.precopy_interference;
             self.stats.interference_time += interference;
-            self.metrics.counter_add(
-                names::CHKPT_INTERFERENCE_TIME_NS_TOTAL,
-                interference.as_nanos(),
-            );
+            self.hot
+                .interference_time_ns_total
+                .add(interference.as_nanos());
         }
         self.clock.advance(dur + interference);
     }
@@ -532,8 +560,7 @@ impl CheckpointEngine {
             spent += cost;
             self.stats.precopied_bytes += len;
             self.epoch_precopied += len;
-            self.metrics
-                .counter_add(names::CHKPT_PRECOPIED_BYTES_TOTAL, len);
+            self.hot.precopied_bytes_total.add(len);
             self.mmu.protect_after_precopy(id);
             self.precopy_done.insert(id);
             self.trace(TraceEventKind::PrecopyDrain {
@@ -557,8 +584,7 @@ impl CheckpointEngine {
 
     fn next_precopy_candidate(&self) -> Option<ChunkId> {
         self.heap
-            .persistent_ids()
-            .into_iter()
+            .iter_persistent_ids()
             .find(|id| self.is_precopy_candidate(*id))
     }
 
@@ -581,8 +607,7 @@ impl CheckpointEngine {
         if self.tracer.enabled() {
             let dirty = self
                 .heap
-                .persistent_ids()
-                .into_iter()
+                .iter_persistent_ids()
                 .filter(|id| self.mmu.is_dirty(*id) && !self.precopy_done.contains(id))
                 .count() as u64;
             self.trace(TraceEventKind::CoordinatedBegin {
@@ -954,6 +979,7 @@ impl CheckpointEngine {
                 log: Vec::new(),
                 tracer,
                 metrics: Metrics::disabled(),
+                hot: HotMetrics::default(),
             },
             report,
         ))
@@ -1085,6 +1111,7 @@ impl CheckpointEngine {
                 log: Vec::new(),
                 tracer,
                 metrics: Metrics::disabled(),
+                hot: HotMetrics::default(),
             },
             report,
         ))
@@ -1203,6 +1230,7 @@ impl CheckpointEngine {
                 log: Vec::new(),
                 tracer,
                 metrics: Metrics::disabled(),
+                hot: HotMetrics::default(),
             },
             report,
         ))

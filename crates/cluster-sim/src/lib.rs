@@ -38,6 +38,7 @@ pub mod app;
 pub mod comm;
 pub mod failure;
 pub mod model;
+pub mod profile;
 pub mod recovery;
 pub mod reliability;
 pub mod run;
@@ -50,6 +51,7 @@ pub use failure::{FailureConfig, FailureEvent, FailureKind, FailureSchedule};
 pub use model::{
     evaluate, optimal_interval, plan_two_level, ModelParams, ModelPrediction, TwoLevelPlan,
 };
+pub use profile::RunProfile;
 pub use recovery::{collapse_batch, RecoveredChunkRecord, RecoveryRecord, RecoverySource};
 pub use reliability::{
     expected_failures, schedule_loses_pair, simulated_unrecoverable_rate,

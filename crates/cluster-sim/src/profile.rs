@@ -1,0 +1,191 @@
+//! Wall-clock/CPU profiling side channel for [`crate::run::ClusterSim`].
+//!
+//! [`RunProfile`] is returned *next to* a
+//! [`crate::run::RunResult`] by `ClusterSim::run_profiled`, never
+//! inside it: results are byte-identity-gated across thread counts and
+//! machines, and timing data is neither. The profile decomposes a run
+//! into
+//!
+//! * **per-rank busy time** — thread CPU time spent inside each rank's
+//!   workload iteration and checkpoint callbacks (the part
+//!   `--threads N` spreads over workers), and
+//! * **coordinator overhead** — everything else on the wall: barrier
+//!   arithmetic, failure handling, helper/link bookkeeping, and merges
+//!   (the serial floor that caps scaling).
+//!
+//! From that split and the *actual* contiguous chunk partition used by
+//! the worker pool, [`RunProfile::projected_speedup`] computes the
+//! Amdahl-style speedup a given thread count yields on a host with
+//! enough cores. On a single-core runner (like the CI shell this repo
+//! is typically profiled in) measured wall time cannot show thread
+//! scaling at all — the projection, derived from a serial run's
+//! measurements, is the honest substitute and is what
+//! `experiments/scaling_threads.json` records alongside measured wall
+//! times.
+
+/// Thread CPU time (CLOCK_THREAD_CPUTIME_ID) in nanoseconds.
+///
+/// Raw `clock_gettime` so no external crate is needed; falls back to a
+/// process-wide monotonic clock off Linux (still monotone, just not
+/// per-thread — projections stay meaningful on one thread).
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` outlives the call and the clock id is valid on
+    // every Linux since 2.6.12.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc != 0 {
+        return 0;
+    }
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// Fallback: monotonic wall clock (not per-thread).
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Timing decomposition of one simulator run. See the module docs for
+/// what each part means; all fields are measured, none feed back into
+/// the deterministic simulation state.
+#[derive(Clone, Debug)]
+pub struct RunProfile {
+    /// Total wall-clock nanoseconds for the run.
+    pub wall_ns: u64,
+    /// Thread-CPU nanoseconds spent in rank callbacks, indexed by
+    /// global rank (flattened node-major order — the same order the
+    /// worker pool chunks).
+    pub rank_busy_ns: Vec<u64>,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+}
+
+impl RunProfile {
+    /// Total rank-parallel work on the wall.
+    pub fn total_rank_busy_ns(&self) -> u64 {
+        self.rank_busy_ns.iter().sum()
+    }
+
+    /// The serial floor: wall time not attributable to rank callbacks.
+    /// Meaningful as a *serial* floor only when the run itself was
+    /// serial (`threads == 1`); in a parallel run rank work overlaps
+    /// the wall and the subtraction under-counts.
+    pub fn coordinator_ns(&self) -> u64 {
+        self.wall_ns.saturating_sub(self.total_rank_busy_ns())
+    }
+
+    /// Wall time a `threads`-worker run of the same work would take on
+    /// a host with at least `threads` free cores: the serial floor
+    /// plus the busiest worker chunk, using the pool's real contiguous
+    /// `div_ceil` partition of ranks.
+    pub fn projected_wall_ns(&self, threads: usize) -> u64 {
+        let threads = threads.max(1);
+        if self.rank_busy_ns.is_empty() {
+            return self.wall_ns;
+        }
+        let chunk = self
+            .rank_busy_ns
+            .len()
+            .div_ceil(threads.min(self.rank_busy_ns.len()));
+        let busiest = self
+            .rank_busy_ns
+            .chunks(chunk)
+            .map(|c| c.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        self.coordinator_ns() + busiest
+    }
+
+    /// `wall / projected_wall(threads)` — the speedup the measured
+    /// decomposition supports at `threads` workers. Call on a profile
+    /// from a serial run (see [`RunProfile::coordinator_ns`]).
+    pub fn projected_speedup(&self, threads: usize) -> f64 {
+        let projected = self.projected_wall_ns(threads).max(1);
+        self.wall_ns as f64 / projected as f64
+    }
+
+    /// Fraction of the wall the rank-parallel work covers, in [0, 1].
+    pub fn parallel_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (self.total_rank_busy_ns().min(self.wall_ns)) as f64 / self.wall_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_is_monotone_and_advances_under_load() {
+        let t0 = thread_cpu_ns();
+        // Burn a little CPU so the thread clock must move.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_add(i).rotate_left(7);
+        }
+        std::hint::black_box(acc);
+        let t1 = thread_cpu_ns();
+        assert!(t1 >= t0);
+        assert!(t1 > 0);
+    }
+
+    #[test]
+    fn projection_is_amdahl_with_real_partition() {
+        // 4 ranks, equal work, no serial floor: ideal scaling.
+        let p = RunProfile {
+            wall_ns: 400,
+            rank_busy_ns: vec![100; 4],
+            threads: 1,
+        };
+        assert_eq!(p.coordinator_ns(), 0);
+        assert_eq!(p.projected_wall_ns(4), 100);
+        assert!((p.projected_speedup(4) - 4.0).abs() < 1e-9);
+        // Serial floor of 100: speedup at 4 = 400/200 = 2.
+        let p = RunProfile {
+            wall_ns: 500,
+            rank_busy_ns: vec![100; 4],
+            threads: 1,
+        };
+        assert_eq!(p.coordinator_ns(), 100);
+        assert!((p.projected_speedup(4) - 2.5).abs() < 1e-9);
+        // Uneven chunking: 5 ranks over 2 threads -> chunks of 3 and 2.
+        let p = RunProfile {
+            wall_ns: 500,
+            rank_busy_ns: vec![100; 5],
+            threads: 1,
+        };
+        assert_eq!(p.projected_wall_ns(2), 300);
+        // More threads than ranks caps at per-rank max.
+        assert_eq!(p.projected_wall_ns(64), 100);
+    }
+
+    #[test]
+    fn degenerate_profiles_do_not_panic() {
+        let p = RunProfile {
+            wall_ns: 0,
+            rank_busy_ns: Vec::new(),
+            threads: 1,
+        };
+        assert_eq!(p.projected_wall_ns(8), 0);
+        assert!(p.projected_speedup(8) >= 0.0);
+        assert_eq!(p.parallel_fraction(), 0.0);
+    }
+}

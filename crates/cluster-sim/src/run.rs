@@ -38,6 +38,7 @@
 use crate::app::Workload;
 use crate::comm::AlphaBeta;
 use crate::failure::{FailureConfig, FailureKind, FailureSchedule};
+use crate::profile::{thread_cpu_ns, RunProfile};
 use crate::recovery::{collapse_batch, RecoveredChunkRecord, RecoveryRecord, RecoverySource};
 use crate::schedule::{Activity, ScheduleTrace};
 use nvm_chkpt::checksum::crc64;
@@ -56,6 +57,7 @@ use rdma_sim::{
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// Remote checkpointing configuration.
@@ -360,27 +362,41 @@ const _: () = {
 ///   time only flows through barriers, which the caller runs serially;
 /// * errors are reported by the lowest global rank that failed, so a
 ///   failing run is also deterministic.
-fn for_each_rank_parallel<F>(ranks: &mut [Vec<Rank>], threads: usize, f: F) -> Result<(), SimError>
+fn for_each_rank_parallel<F>(
+    ranks: &mut [Vec<Rank>],
+    threads: usize,
+    busy: &[AtomicU64],
+    f: F,
+) -> Result<(), SimError>
 where
     F: Fn(&mut Rank) -> Result<(), SimError> + Sync,
 {
+    // Run one rank's callback, charging its thread-CPU time to the
+    // profile accumulator (indexed by global rank; workers touch
+    // disjoint indices, the atomic is only for the shared borrow).
+    let timed = |rank: &mut Rank| {
+        let t0 = thread_cpu_ns();
+        let out = f(rank);
+        busy[rank.global as usize].fetch_add(thread_cpu_ns().saturating_sub(t0), Relaxed);
+        out
+    };
     let mut flat: Vec<&mut Rank> = ranks.iter_mut().flatten().collect();
     if threads <= 1 || flat.len() <= 1 {
         for rank in flat {
-            f(rank)?;
+            timed(rank)?;
         }
         return Ok(());
     }
     let chunk = flat.len().div_ceil(threads.min(flat.len()));
     let mut failures: Vec<(u64, SimError)> = std::thread::scope(|scope| {
-        let f = &f;
+        let timed = &timed;
         let handles: Vec<_> = flat
             .chunks_mut(chunk)
             .map(|ranks| {
                 scope.spawn(move || {
                     let mut failed = Vec::new();
                     for rank in ranks.iter_mut() {
-                        if let Err(e) = f(rank) {
+                        if let Err(e) = timed(rank) {
                             failed.push((rank.global, e));
                             break;
                         }
@@ -582,7 +598,18 @@ impl ClusterSim {
     }
 
     /// Run to completion.
-    pub fn run(mut self) -> Result<RunResult, SimError> {
+    pub fn run(self) -> Result<RunResult, SimError> {
+        self.run_profiled().map(|(result, _)| result)
+    }
+
+    /// Run to completion, also returning the wall/CPU timing
+    /// decomposition. The [`RunProfile`] travels *next to* the result,
+    /// never inside it — [`RunResult`] stays byte-identical across
+    /// thread counts and machines, timing is neither.
+    pub fn run_profiled(mut self) -> Result<(RunResult, RunProfile), SimError> {
+        let wall_start = std::time::Instant::now();
+        let total_ranks = self.config.nodes * self.config.ranks_per_node;
+        let rank_busy: Vec<AtomicU64> = (0..total_ranks).map(|_| AtomicU64::new(0)).collect();
         let mut trace = ScheduleTrace::new();
         // Cluster-level events (failures, remote shipping) happen on
         // the coordinator, outside any single rank's timeline; they get
@@ -716,7 +743,7 @@ impl ClusterSim {
 
             // -- 1: application iteration (parallel epoch) --------------
             let rank0_before = self.ranks[0][0].clock.now();
-            for_each_rank_parallel(&mut self.ranks, self.config.threads, |rank| {
+            for_each_rank_parallel(&mut self.ranks, self.config.threads, &rank_busy, |rank| {
                 rank.workload
                     .iterate(&mut rank.engine, iter)
                     .map_err(SimError::from)
@@ -803,7 +830,7 @@ impl ClusterSim {
             };
             if local_due {
                 let t0 = self.barrier();
-                for_each_rank_parallel(&mut self.ranks, self.config.threads, |rank| {
+                for_each_rank_parallel(&mut self.ranks, self.config.threads, &rank_busy, |rank| {
                     rank.engine
                         .nvchkptall()
                         .map(|_report| ())
@@ -931,7 +958,7 @@ impl ClusterSim {
                 .ranks
                 .iter()
                 .flatten()
-                .map(|r| r.sink.as_ref().map(|s| s.snapshot()).unwrap_or_default())
+                .map(|r| r.sink.as_ref().map(|s| s.drain()).unwrap_or_default())
                 .collect();
             buffers.push(coord);
             nvm_trace::merge_ranked(buffers)
@@ -989,7 +1016,7 @@ impl ClusterSim {
             Some(StoreStats::merged(store_stats.iter()))
         };
 
-        Ok(RunResult {
+        let result = RunResult {
             total_time,
             iterations_executed: executed,
             local_checkpoints: local_ckpts,
@@ -1012,7 +1039,83 @@ impl ClusterSim {
             metrics,
             store,
             recovery: recovery_records,
-        })
+        };
+        let profile = RunProfile {
+            wall_ns: wall_start.elapsed().as_nanos() as u64,
+            rank_busy_ns: rank_busy.into_iter().map(|c| c.into_inner()).collect(),
+            threads: self.config.threads,
+        };
+        Ok((result, profile))
+    }
+
+    /// Bit-for-bit verification of freshly restored ranks against the
+    /// remote images they were rebuilt from: per rank, read every
+    /// restored chunk back, compare against the fetched payload, and
+    /// record its CRC. Pure reads over rank-owned engines (shared
+    /// device access is commutative stats only), so ranks verify on
+    /// `threads` scoped workers; results come back in rank order, and
+    /// on failure the lowest failing global rank wins — both identical
+    /// to the serial path.
+    fn verify_restored(
+        ranks: &mut [Rank],
+        images_per_rank: &[Vec<RemoteImage>],
+        threads: usize,
+        node: usize,
+    ) -> Result<Vec<Vec<RecoveredChunkRecord>>, SimError> {
+        let verify_one = |rank: &Rank, images: &[RemoteImage]| {
+            let mut records = Vec::with_capacity(images.len());
+            for img in images {
+                let restored = rank.engine.committed_bytes(img.id)?;
+                if restored != img.payload {
+                    return Err(SimError::RecoveryMismatch {
+                        node,
+                        rank: rank.global,
+                        chunk: img.id.0,
+                    });
+                }
+                records.push(RecoveredChunkRecord {
+                    rank: rank.global,
+                    chunk: img.id.0,
+                    name: img.name.clone(),
+                    len: img.len as u64,
+                    checksum: crc64(&restored),
+                });
+            }
+            Ok(records)
+        };
+        // `&mut Rank` is `Send` even though `&Rank` is not `Sync`
+        // (boxed workloads/persistence), so the pool moves exclusive
+        // rank borrows to workers exactly like `for_each_rank_parallel`.
+        let mut pairs: Vec<(&mut Rank, &Vec<RemoteImage>)> =
+            ranks.iter_mut().zip(images_per_rank.iter()).collect();
+        if threads <= 1 || pairs.len() <= 1 {
+            return pairs
+                .into_iter()
+                .map(|(rank, images)| verify_one(rank, images))
+                .collect();
+        }
+        let chunk = pairs.len().div_ceil(threads.min(pairs.len()));
+        let per_rank: Vec<(u64, Result<Vec<RecoveredChunkRecord>, SimError>)> =
+            std::thread::scope(|scope| {
+                let verify_one = &verify_one;
+                let handles: Vec<_> = pairs
+                    .chunks_mut(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|(rank, images)| (rank.global, verify_one(rank, images)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("verify worker panicked"))
+                    .collect()
+            });
+        // Chunks are contiguous and in rank order, so the flattened
+        // results already are too; the first error is the lowest rank.
+        per_rank.into_iter().map(|(_, r)| r).collect()
     }
 
     /// Mirror one committed chunk into the node's remote store: real
@@ -1269,6 +1372,11 @@ impl ClusterSim {
 
             if images_per_rank.iter().any(|imgs| !imgs.is_empty()) {
                 source = RecoverySource::RemoteBuddy;
+                // Install serially: engine reconstruction allocates
+                // regions on the shared node devices, and region ids
+                // are assigned in allocation order — persisted in each
+                // rank's metadata, so the order must not depend on
+                // thread scheduling.
                 for (rank, images) in self.ranks[node].iter_mut().zip(&images_per_rank) {
                     let tracer = match &rank.sink {
                         Some(s) => Tracer::new(s.clone()).with_rank(rank.global),
@@ -1288,27 +1396,22 @@ impl ClusterSim {
                     )?;
                     rank.engine = engine;
                     rank.engine.set_metrics(rank.metrics.clone());
-                    // Verify the restored contents bit-for-bit against
-                    // the images that crossed the wire.
-                    for img in images {
-                        let restored = rank.engine.committed_bytes(img.id)?;
-                        if restored != img.payload {
-                            return Err(SimError::RecoveryMismatch {
-                                node,
-                                rank: rank.global,
-                                chunk: img.id.0,
-                            });
-                        }
-                        verified += 1;
-                        chunk_records.push(RecoveredChunkRecord {
-                            rank: rank.global,
-                            chunk: img.id.0,
-                            name: img.name.clone(),
-                            len: img.len as u64,
-                            checksum: crc64(&restored),
-                        });
-                    }
                     max_install = max_install.max(rank.clock.now().since(t0));
+                }
+                // Verify the restored contents bit-for-bit against the
+                // images that crossed the wire. Read-only per-rank work
+                // (reads + CRC over real bytes), so it runs on the
+                // worker pool; records are assembled in rank order and
+                // a failure reports the lowest failing rank, keeping
+                // the serial and parallel paths byte-identical.
+                for records in Self::verify_restored(
+                    &mut self.ranks[node],
+                    &images_per_rank,
+                    self.config.threads,
+                    node,
+                )? {
+                    verified += records.len() as u64;
+                    chunk_records.extend(records);
                 }
             } else {
                 // Rung 3: nothing recoverable exists anywhere — no

@@ -24,8 +24,9 @@ use crate::energy::EnergyMeter;
 use crate::error::DeviceError;
 use crate::params::{DeviceKind, DeviceParams};
 use crate::time::{SimDuration, VirtualClock};
+use crate::wearmap::WearMap;
 use crate::{pages_for, PAGE_SIZE};
-use nvm_metrics::{names, Metrics};
+use nvm_metrics::{names, CounterHandle, Metrics};
 use nvm_trace::{TraceEventKind, Tracer};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -71,8 +72,10 @@ enum Backing {
 struct Region {
     len: usize,
     backing: Backing,
-    /// Writes per page of this region (wear tracking).
-    page_writes: Vec<u64>,
+    /// Writes per page of this region (wear tracking), compressed as
+    /// equal-count segments so chunk-sized writes cost O(log segments)
+    /// instead of O(pages).
+    wear: WearMap,
 }
 
 impl Region {
@@ -92,14 +95,9 @@ impl Region {
         if len == 0 {
             return 0;
         }
-        let first = offset / PAGE_SIZE;
-        let last = (offset + len - 1) / PAGE_SIZE;
-        let mut max = 0;
-        for p in first..=last {
-            self.page_writes[p] += 1;
-            max = max.max(self.page_writes[p]);
-        }
-        max
+        let first = (offset / PAGE_SIZE) as u64;
+        let last = ((offset + len - 1) / PAGE_SIZE) as u64;
+        self.wear.increment_range(first, last)
     }
 }
 
@@ -112,16 +110,16 @@ struct DeviceTracer {
     clock: VirtualClock,
 }
 
-/// Metrics attachment for a device, with the per-kind metric names
-/// resolved once at attach time so the charge path never formats or
-/// matches strings. Counter adds are commutative, so unlike a tracer a
+/// Metrics attachment for a device, with the per-kind counters
+/// pre-resolved into lock-free cells at attach time so the charge
+/// path is a couple of relaxed atomic adds — no registry mutex, no
+/// name lookup. Counter adds are commutative, so unlike a tracer a
 /// metrics handle may be attached to a device shared by
 /// concurrently-executing ranks without breaking determinism.
 struct DeviceMetrics {
-    metrics: Metrics,
-    read_bytes: &'static str,
-    write_bytes: &'static str,
-    busy_ns: &'static str,
+    read_bytes: CounterHandle,
+    write_bytes: CounterHandle,
+    busy_ns: CounterHandle,
 }
 
 struct Inner {
@@ -227,10 +225,9 @@ impl MemoryDevice {
         let kind = g.params.kind.name();
         g.metrics = if metrics.enabled() {
             Some(DeviceMetrics {
-                metrics,
-                read_bytes: names::device_read_bytes_total(kind),
-                write_bytes: names::device_write_bytes_total(kind),
-                busy_ns: names::device_busy_ns_total(kind),
+                read_bytes: metrics.counter_handle(names::device_read_bytes_total(kind)),
+                write_bytes: metrics.counter_handle(names::device_write_bytes_total(kind)),
+                busy_ns: metrics.counter_handle(names::device_busy_ns_total(kind)),
             })
         } else {
             None
@@ -311,7 +308,7 @@ impl MemoryDevice {
             Region {
                 len,
                 backing,
-                page_writes: vec![0; pages_for(len).max(1)],
+                wear: WearMap::new(pages_for(len).max(1)),
             },
         );
         Ok(id)
@@ -461,7 +458,7 @@ impl MemoryDevice {
         g.stats.busy += cost;
         g.trace_charge("flush", len as u64, cost);
         if let Some(dm) = &g.metrics {
-            dm.metrics.counter_add(dm.busy_ns, cost.as_nanos());
+            dm.busy_ns.add(cost.as_nanos());
         }
         Ok(cost)
     }
@@ -471,7 +468,7 @@ impl MemoryDevice {
         let g = self.inner.lock();
         g.regions
             .get(&id)
-            .map(|r| r.page_writes.iter().copied().max().unwrap_or(0))
+            .map(|r| r.wear.max())
             .ok_or(DeviceError::NoSuchRegion(id.0))
     }
 
@@ -479,12 +476,7 @@ impl MemoryDevice {
     /// the hottest region, in [0, 1+].
     pub fn wear_fraction(&self) -> f64 {
         let g = self.inner.lock();
-        let max = g
-            .regions
-            .values()
-            .flat_map(|r| r.page_writes.iter().copied())
-            .max()
-            .unwrap_or(0);
+        let max = g.regions.values().map(|r| r.wear.max()).max().unwrap_or(0);
         max as f64 / g.params.write_endurance as f64
     }
 
@@ -546,8 +538,8 @@ impl Inner {
             .charge_write(len as u64, params.write_energy_pj_per_bit);
         self.trace_charge("write", len as u64, cost);
         if let Some(dm) = &self.metrics {
-            dm.metrics.counter_add(dm.write_bytes, len as u64);
-            dm.metrics.counter_add(dm.busy_ns, cost.as_nanos());
+            dm.write_bytes.add(len as u64);
+            dm.busy_ns.add(cost.as_nanos());
         }
         Ok(cost)
     }
@@ -565,8 +557,8 @@ impl Inner {
         self.stats.busy += cost;
         self.trace_charge("read", len as u64, cost);
         if let Some(dm) = &self.metrics {
-            dm.metrics.counter_add(dm.read_bytes, len as u64);
-            dm.metrics.counter_add(dm.busy_ns, cost.as_nanos());
+            dm.read_bytes.add(len as u64);
+            dm.busy_ns.add(cost.as_nanos());
         }
         cost
     }

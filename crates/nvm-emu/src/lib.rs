@@ -52,6 +52,7 @@ pub mod params;
 pub mod tempdir;
 pub mod time;
 pub mod wear;
+pub mod wearmap;
 
 pub use bandwidth::BandwidthModel;
 pub use device::{DeviceStats, MemoryDevice, RegionId};

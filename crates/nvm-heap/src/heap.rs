@@ -456,11 +456,14 @@ impl NvmHeap {
 
     /// Ids of persistent chunks only (the checkpoint set).
     pub fn persistent_ids(&self) -> Vec<ChunkId> {
-        self.chunks
-            .values()
-            .filter(|c| c.persistent)
-            .map(|c| c.id)
-            .collect()
+        self.iter_persistent_ids().collect()
+    }
+
+    /// Iterate persistent chunk ids in id order without allocating —
+    /// the hot-loop variant of [`NvmHeap::persistent_ids`] (pre-copy
+    /// candidate scans run once per drained chunk).
+    pub fn iter_persistent_ids(&self) -> impl Iterator<Item = ChunkId> + '_ {
+        self.chunks.values().filter(|c| c.persistent).map(|c| c.id)
     }
 
     /// Number of chunks.

@@ -1,8 +1,9 @@
 //! Metric registries and the shared recording handle.
 
-use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::histogram::{bucket_index, Histogram, HistogramSnapshot, BUCKET_COUNT};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One named metric.
@@ -81,6 +82,20 @@ impl MetricsRegistry {
         self.metrics.get(name)
     }
 
+    /// Fold a complete histogram into the named entry (used when
+    /// draining pre-resolved [`HistogramHandle`]s back into a
+    /// registry).
+    fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
+        match self
+            .metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.merge_from(other),
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
     /// Fold another registry into this one: counters add, gauges take
     /// the max, histograms merge bucketwise. Every combination rule is
     /// commutative and associative, but callers (the cluster
@@ -155,15 +170,164 @@ impl MetricsSnapshot {
     }
 }
 
+/// A counter cell shared between a [`CounterHandle`] and the registry
+/// that will eventually fold it in. `touched` distinguishes "added
+/// zero" from "never updated" so folding never invents entries the
+/// locked path would not have created.
+#[derive(Default)]
+struct SharedCounter {
+    value: AtomicU64,
+    touched: AtomicBool,
+}
+
+/// A histogram cell shared between a [`HistogramHandle`] and the
+/// registry. All fields are atomics updated with commutative ops
+/// (bucket add, count add, sum add, max), so concurrent observers
+/// produce bit-identical folded state regardless of interleaving.
+struct SharedHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        SharedHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SharedHistogram {
+    fn to_histogram(&self) -> Histogram {
+        Histogram::from_parts(
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Pre-resolved metric cells, keyed by name so folding back into the
+/// registry stays name-ordered and repeated resolution of the same
+/// name shares one cell.
+#[derive(Default)]
+struct Resolved {
+    counters: BTreeMap<&'static str, Arc<SharedCounter>>,
+    histograms: BTreeMap<&'static str, Arc<SharedHistogram>>,
+}
+
+struct MetricsInner {
+    registry: Mutex<MetricsRegistry>,
+    resolved: Mutex<Resolved>,
+}
+
+/// A pre-resolved counter: one relaxed atomic add per update — no
+/// mutex, no name lookup. Obtained from [`Metrics::counter_handle`];
+/// the cell is folded into the registry on
+/// [`Metrics::registry`]/[`Metrics::merge_into`]. u64 adds are
+/// commutative, so a handle shared by concurrently executing ranks is
+/// bit-deterministic. A handle from a disabled [`Metrics`] is a
+/// branch-only no-op.
+#[derive(Clone, Default)]
+pub struct CounterHandle {
+    cell: Option<Arc<SharedCounter>>,
+}
+
+impl CounterHandle {
+    /// A no-op handle (what a disabled [`Metrics`] hands out).
+    pub fn disabled() -> Self {
+        CounterHandle::default()
+    }
+
+    /// True when updates reach a registry.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Add `delta` to the counter. No-op when disabled.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(cell) = &self.cell {
+            cell.value.fetch_add(delta, Ordering::Relaxed);
+            cell.touched.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for CounterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// A pre-resolved histogram: a few relaxed atomic ops per sample.
+/// Obtained from [`Metrics::histogram_handle`]; same folding and
+/// determinism story as [`CounterHandle`]. The one semantic nuance vs
+/// the locked path: `sum` wraps instead of saturating, which diverges
+/// only past `u64::MAX` total — unreachable for the nanosecond/byte
+/// quantities recorded here.
+#[derive(Clone, Default)]
+pub struct HistogramHandle {
+    cell: Option<Arc<SharedHistogram>>,
+}
+
+impl HistogramHandle {
+    /// A no-op handle (what a disabled [`Metrics`] hands out).
+    pub fn disabled() -> Self {
+        HistogramHandle::default()
+    }
+
+    /// True when updates reach a registry.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Record one sample. No-op when disabled.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(value, Ordering::Relaxed);
+            cell.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
 /// Clonable recording handle, mirroring `nvm_trace::Tracer`: `None`
 /// (the default) is disabled and every update is a single branch;
 /// enabled handles share one registry behind a mutex. All updates are
 /// commutative (add/max/bucket-add), so a registry shared by
 /// concurrently executing ranks — the per-node device registries — is
 /// still bit-deterministic.
+///
+/// Hot paths should pre-resolve names once via
+/// [`Metrics::counter_handle`]/[`Metrics::histogram_handle`] and
+/// update through the returned lock-free cells; the name-keyed
+/// `counter_add`/`gauge_max`/`observe` methods lock the registry and
+/// walk the name map on every call, which is fine for per-epoch
+/// coordinator updates but not for per-event device charges.
 #[derive(Clone, Default)]
 pub struct Metrics {
-    inner: Option<Arc<Mutex<MetricsRegistry>>>,
+    inner: Option<Arc<MetricsInner>>,
 }
 
 impl std::fmt::Debug for Metrics {
@@ -183,7 +347,10 @@ impl Metrics {
     /// Enabled handle over a fresh registry.
     pub fn new() -> Self {
         Metrics {
-            inner: Some(Arc::new(Mutex::new(MetricsRegistry::new()))),
+            inner: Some(Arc::new(MetricsInner {
+                registry: Mutex::new(MetricsRegistry::new()),
+                resolved: Mutex::new(Resolved::default()),
+            })),
         }
     }
 
@@ -197,7 +364,7 @@ impl Metrics {
     #[inline]
     pub fn counter_add(&self, name: &'static str, delta: u64) {
         if let Some(inner) = &self.inner {
-            inner.lock().unwrap().counter_add(name, delta);
+            inner.registry.lock().unwrap().counter_add(name, delta);
         }
     }
 
@@ -205,7 +372,7 @@ impl Metrics {
     #[inline]
     pub fn gauge_max(&self, name: &'static str, value: i64) {
         if let Some(inner) = &self.inner {
-            inner.lock().unwrap().gauge_max(name, value);
+            inner.registry.lock().unwrap().gauge_max(name, value);
         }
     }
 
@@ -213,23 +380,70 @@ impl Metrics {
     #[inline]
     pub fn observe(&self, name: &'static str, value: u64) {
         if let Some(inner) = &self.inner {
-            inner.lock().unwrap().observe(name, value);
+            inner.registry.lock().unwrap().observe(name, value);
         }
     }
 
-    /// Copy of the attached registry (empty when disabled).
-    pub fn registry(&self) -> MetricsRegistry {
-        self.inner
-            .as_ref()
-            .map(|inner| inner.lock().unwrap().clone())
-            .unwrap_or_default()
+    /// Pre-resolve a counter name into a lock-free handle. Repeated
+    /// resolution of the same name shares one cell; the cell's total
+    /// is folded into the registry when it is read or merged, summed
+    /// with any locked-path `counter_add`s to the same name.
+    pub fn counter_handle(&self, name: &'static str) -> CounterHandle {
+        let Some(inner) = &self.inner else {
+            return CounterHandle::disabled();
+        };
+        let mut resolved = inner.resolved.lock().unwrap();
+        let cell = resolved.counters.entry(name).or_default();
+        CounterHandle {
+            cell: Some(Arc::clone(cell)),
+        }
     }
 
-    /// Merge the attached registry into `target` (no-op when
-    /// disabled).
+    /// Pre-resolve a histogram name into a lock-free handle (see
+    /// [`Metrics::counter_handle`]).
+    pub fn histogram_handle(&self, name: &'static str) -> HistogramHandle {
+        let Some(inner) = &self.inner else {
+            return HistogramHandle::disabled();
+        };
+        let mut resolved = inner.resolved.lock().unwrap();
+        let cell = resolved.histograms.entry(name).or_default();
+        HistogramHandle {
+            cell: Some(Arc::clone(cell)),
+        }
+    }
+
+    /// Copy of the attached registry (empty when disabled), with all
+    /// pre-resolved cells folded in.
+    pub fn registry(&self) -> MetricsRegistry {
+        let Some(inner) = &self.inner else {
+            return MetricsRegistry::new();
+        };
+        let mut reg = inner.registry.lock().unwrap().clone();
+        Self::fold_resolved(&inner.resolved.lock().unwrap(), &mut reg);
+        reg
+    }
+
+    /// Merge the attached registry (with pre-resolved cells folded in)
+    /// into `target`. No-op when disabled.
     pub fn merge_into(&self, target: &mut MetricsRegistry) {
         if let Some(inner) = &self.inner {
-            target.merge_from(&inner.lock().unwrap());
+            target.merge_from(&inner.registry.lock().unwrap());
+            Self::fold_resolved(&inner.resolved.lock().unwrap(), target);
+        }
+    }
+
+    /// Fold pre-resolved cells into `reg`, skipping never-touched
+    /// cells so resolution alone never creates entries.
+    fn fold_resolved(resolved: &Resolved, reg: &mut MetricsRegistry) {
+        for (name, cell) in &resolved.counters {
+            if cell.touched.load(Ordering::Relaxed) {
+                reg.counter_add(name, cell.value.load(Ordering::Relaxed));
+            }
+        }
+        for (name, cell) in &resolved.histograms {
+            if cell.count.load(Ordering::Relaxed) > 0 {
+                reg.merge_histogram(name, &cell.to_histogram());
+            }
         }
     }
 }
@@ -308,6 +522,63 @@ mod tests {
         let mut target = MetricsRegistry::new();
         m.merge_into(&mut target);
         assert_eq!(target.snapshot().counter("c"), 2);
+    }
+
+    #[test]
+    fn handles_fold_into_registry_like_locked_path() {
+        let m = Metrics::new();
+        let c = m.counter_handle("c");
+        let h = m.histogram_handle("h");
+        c.add(2);
+        m.counter_add("c", 3); // locked path to the same name sums in
+        c.add(5);
+        h.observe(100);
+        h.observe(3);
+        m.observe("h", 7);
+        let s = m.registry().snapshot();
+        assert_eq!(s.counter("c"), 10);
+        let hs = s.histogram("h").unwrap();
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.max, 100);
+        // merge_into folds identically.
+        let mut target = MetricsRegistry::new();
+        m.merge_into(&mut target);
+        assert_eq!(target.snapshot(), s);
+    }
+
+    #[test]
+    fn resolving_alone_creates_no_entries() {
+        let m = Metrics::new();
+        let _c = m.counter_handle("never_touched");
+        let _h = m.histogram_handle("never_observed");
+        assert!(m.registry().is_empty());
+        // A zero-delta add still marks the counter live, matching the
+        // locked path (counter_add(name, 0) creates the entry).
+        m.counter_handle("zero").add(0);
+        assert_eq!(m.registry().len(), 1);
+        assert_eq!(m.registry().snapshot().counter("zero"), 0);
+    }
+
+    #[test]
+    fn repeated_resolution_shares_one_cell() {
+        let m = Metrics::new();
+        let a = m.counter_handle("c");
+        let b = m.counter_handle("c");
+        a.add(1);
+        b.add(2);
+        assert_eq!(m.registry().snapshot().counter("c"), 3);
+    }
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let m = Metrics::disabled();
+        let c = m.counter_handle("c");
+        let h = m.histogram_handle("h");
+        assert!(!c.enabled());
+        assert!(!h.enabled());
+        c.add(1);
+        h.observe(1);
+        assert!(m.registry().is_empty());
     }
 
     #[test]

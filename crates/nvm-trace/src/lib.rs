@@ -404,7 +404,13 @@ impl Tracer {
 /// each rank's own emission order. The result is independent of how
 /// the ranks were scheduled onto threads.
 pub fn merge_ranked(buffers: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
-    let mut merged: Vec<TraceEvent> = buffers.into_iter().flatten().collect();
+    // Preallocate the exact output size and move whole buffers in
+    // (`append` is a memmove) — no per-event clone, no regrowth.
+    let total = buffers.iter().map(Vec::len).sum();
+    let mut merged: Vec<TraceEvent> = Vec::with_capacity(total);
+    for mut buffer in buffers {
+        merged.append(&mut buffer);
+    }
     merged.sort_by_key(|e| (e.t_ns, e.rank));
     merged
 }

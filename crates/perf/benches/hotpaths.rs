@@ -1,0 +1,77 @@
+//! Hot-path microbenchmarks gated by CI (`scripts/check_perf.py`).
+//!
+//! Labels are part of the gate's contract: `experiments/
+//! perf_baseline.json` keys on them, so renaming a benchmark here
+//! requires regenerating the baseline (see README "Performance").
+//! `calibration/spin_64k` is the machine-speed unit every other
+//! benchmark is normalized against — it must stay a fixed pure-ALU
+//! workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nvm_chkpt::PrecopyPolicy;
+use nvm_perf::{
+    buddy_store, calibration_spin, epoch_engine, epoch_step, fold_metrics, merge_traces,
+    run_tiny_cluster, touched_rank_metrics, trace_buffers,
+};
+
+fn bench_calibration(c: &mut Criterion) {
+    c.bench_function("calibration/spin_64k", |b| {
+        b.iter(|| calibration_spin(black_box(64 * 1024)))
+    });
+}
+
+fn bench_engine_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Bytes(4 << 20));
+    for (label, policy) in [
+        ("epoch_cpc", PrecopyPolicy::Cpc),
+        ("epoch_dcpcp", PrecopyPolicy::Dcpcp),
+    ] {
+        g.bench_function(label, |b| {
+            let (mut e, id) = epoch_engine(policy);
+            b.iter(|| black_box(epoch_step(&mut e, id)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rank_simulate(c: &mut Criterion) {
+    c.bench_function("cluster/rank_simulate_loop", |b| {
+        b.iter(|| black_box(run_tiny_cluster().total_time))
+    });
+}
+
+fn bench_merges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+    let buffers = trace_buffers(48, 256);
+    g.throughput(Throughput::Elements(48 * 256));
+    g.bench_function("trace_merge_48x256", |b| {
+        b.iter(|| black_box(merge_traces(black_box(buffers.clone()))))
+    });
+    let ranks = touched_rank_metrics(48);
+    g.throughput(Throughput::Elements(48));
+    g.bench_function("metrics_fold_48", |b| {
+        b.iter(|| black_box(fold_metrics(black_box(&ranks))))
+    });
+    g.finish();
+}
+
+fn bench_buddy_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remote");
+    let (store, _, chunk) = buddy_store(256 * 1024);
+    g.throughput(Throughput::Bytes(256 * 1024));
+    g.bench_function("buddy_fetch_256k", |b| {
+        b.iter(|| black_box(store.fetch(black_box(0), chunk).expect("fetch")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calibration,
+    bench_engine_epoch,
+    bench_rank_simulate,
+    bench_merges,
+    bench_buddy_fetch
+);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Shared fixtures for the hot-path microbenchmarks in
+//! `benches/hotpaths.rs`, plus the calibration workload the
+//! perf-regression gate normalizes against.
+//!
+//! The benchmarks cover the paths the thread-scaling work of this
+//! repo optimizes — a single engine checkpoint epoch under each
+//! pre-copy policy, the per-rank cluster simulate loop, the
+//! coordinator-side trace/metrics merges, and the buddy fetch used by
+//! remote recovery. Fixtures live here (not in the bench file) so
+//! unit tests keep them compiling and behaving even when the bench
+//! binary is not run.
+//!
+//! CI runs the suite through `scripts/check_perf.py`, which divides
+//! every benchmark's ns/iter by [`calibration_spin`]'s ns/iter on the
+//! same machine and compares those *ratios* to the committed baseline
+//! (`experiments/perf_baseline.json`). Raw nanoseconds differ per
+//! runner; the ratio to a fixed ALU workload is stable enough to gate
+//! on.
+
+#![warn(missing_docs)]
+
+use cluster_sim::{ClusterConfig, ClusterSim, RunResult};
+use hpc_workloads::SyntheticApp;
+use nvm_chkpt::{CheckpointEngine, ChunkId, EngineConfig, Materialization, PrecopyPolicy};
+use nvm_emu::{MemoryDevice, SimDuration, VirtualClock};
+use nvm_metrics::{Metrics, MetricsRegistry};
+use nvm_trace::{merge_ranked, TraceEvent, TraceEventKind};
+use rdma_sim::RemoteStore;
+
+const MB: usize = 1 << 20;
+
+/// Fixed ALU workload the perf gate uses as its machine-speed unit:
+/// `rounds` integer multiply/rotate/xor steps, returning the
+/// accumulator so the optimizer cannot drop the loop.
+pub fn calibration_spin(rounds: u64) -> u64 {
+    let mut acc = 0x9E3779B97F4A7C15u64;
+    for i in 0..rounds {
+        acc = acc
+            .wrapping_mul(0x2545F4914F6CDD1D)
+            .rotate_left(23)
+            .wrapping_add(i);
+    }
+    acc
+}
+
+/// Engine with one 4 MB persistent chunk, ready for epoch stepping
+/// under the given pre-copy policy.
+pub fn epoch_engine(policy: PrecopyPolicy) -> (CheckpointEngine, ChunkId) {
+    let dram = MemoryDevice::dram(64 * MB);
+    let nvm = MemoryDevice::pcm(64 * MB);
+    let cfg = EngineConfig::builder()
+        .precopy(policy)
+        .materialization(Materialization::Synthetic)
+        .checksums(false)
+        .build()
+        .expect("valid config");
+    let mut e =
+        CheckpointEngine::new(0, &dram, &nvm, 24 * MB, VirtualClock::new(), cfg).expect("engine");
+    let id = e.nvmalloc("bench", 4 * MB, true).expect("alloc");
+    (e, id)
+}
+
+/// One full checkpoint epoch: dirty the chunk, run a compute interval
+/// (the pre-copy window), then take the coordinated checkpoint.
+/// Returns total bytes the epoch moved to NVM.
+pub fn epoch_step(e: &mut CheckpointEngine, id: ChunkId) -> u64 {
+    e.write_synthetic(id, 0, 4 * MB).expect("dirty");
+    e.compute(SimDuration::from_secs(1));
+    e.nvchkptall().expect("checkpoint").total_bytes()
+}
+
+/// Smallest cluster that still exercises the per-rank simulate loop:
+/// 1 node x 2 ranks, 4 iterations, local checkpoints on.
+pub fn tiny_cluster_config() -> ClusterConfig {
+    let mut c = ClusterConfig::new(1, 2);
+    c.container_bytes = 32 * MB;
+    c.engine = c.engine.with_precopy(PrecopyPolicy::Dcpcp);
+    c.local_interval = Some(SimDuration::from_secs(2));
+    c.iterations = 4;
+    c
+}
+
+/// Build and run the tiny cluster serially (what one `b.iter` of the
+/// `cluster/rank_simulate_loop` benchmark measures).
+pub fn run_tiny_cluster() -> RunResult {
+    ClusterSim::new(tiny_cluster_config(), |_| {
+        Box::new(SyntheticApp::lammps_scaled(0.01).with_compute(SimDuration::from_millis(500)))
+    })
+    .expect("cluster setup")
+    .run()
+    .expect("cluster run")
+}
+
+/// Per-rank trace buffers shaped like a paper-preset run: `ranks`
+/// buffers of `per_rank` time-ordered events each.
+pub fn trace_buffers(ranks: usize, per_rank: usize) -> Vec<Vec<TraceEvent>> {
+    (0..ranks as u64)
+        .map(|rank| {
+            (0..per_rank as u64)
+                .map(|i| TraceEvent {
+                    t_ns: i * 1_000 + rank,
+                    rank,
+                    kind: TraceEventKind::ProtectionFault { chunk: i % 17 },
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Merge per-rank buffers the way the coordinator does.
+pub fn merge_traces(buffers: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    merge_ranked(buffers)
+}
+
+/// Per-rank metrics registries with the hot counters/histograms
+/// touched, mimicking end-of-run rank state.
+pub fn touched_rank_metrics(ranks: usize) -> Vec<Metrics> {
+    (0..ranks)
+        .map(|r| {
+            let m = Metrics::new();
+            let faults = m.counter_handle("chkpt_faults_total");
+            let bytes = m.counter_handle("chkpt_precopied_bytes_total");
+            let hist = m.histogram_handle("chkpt_fault_ns");
+            for i in 0..64u64 {
+                faults.add(1);
+                bytes.add(4096);
+                hist.observe(1_000 + i * 37 + r as u64);
+            }
+            m
+        })
+        .collect()
+}
+
+/// Fold per-rank metrics into one registry in rank order (the
+/// coordinator merge step).
+pub fn fold_metrics(ranks: &[Metrics]) -> MetricsRegistry {
+    let mut out = MetricsRegistry::new();
+    for m in ranks {
+        m.merge_into(&mut out);
+    }
+    out
+}
+
+/// Buddy store holding one committed chunk of `chunk_bytes`, as a
+/// surviving node sees its failed buddy's data.
+pub fn buddy_store(chunk_bytes: usize) -> (RemoteStore, Vec<u8>, ChunkId) {
+    let nvm = MemoryDevice::pcm(chunk_bytes * 4 + 8 * MB);
+    let mut store = RemoteStore::new(&nvm, true);
+    let data: Vec<u8> = (0..chunk_bytes)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8)
+        .collect();
+    let chunk = ChunkId(7);
+    store.put(0, chunk, &data).expect("put");
+    store.commit_rank(0, 1);
+    (store, data, chunk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_spin_is_input_dependent() {
+        assert_ne!(calibration_spin(1_000), calibration_spin(1_001));
+        assert_eq!(calibration_spin(1_000), calibration_spin(1_000));
+    }
+
+    #[test]
+    fn epoch_step_copies_bytes_under_each_policy() {
+        for policy in [
+            PrecopyPolicy::None,
+            PrecopyPolicy::Cpc,
+            PrecopyPolicy::Dcpcp,
+        ] {
+            let (mut e, id) = epoch_engine(policy);
+            // Two epochs: the second runs with a warm predictor.
+            let first = epoch_step(&mut e, id);
+            let second = epoch_step(&mut e, id);
+            assert!(first > 0 || second > 0, "policy {policy:?} copied nothing");
+            assert_eq!(e.epoch(), 2);
+        }
+    }
+
+    #[test]
+    fn tiny_cluster_runs_and_checkpoints() {
+        let r = run_tiny_cluster();
+        assert!(r.local_checkpoints > 0);
+        assert!(r.total_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn trace_fixture_merges_sorted() {
+        let merged = merge_traces(trace_buffers(8, 32));
+        assert_eq!(merged.len(), 8 * 32);
+        assert!(merged
+            .windows(2)
+            .all(|w| (w[0].t_ns, w[0].rank) <= (w[1].t_ns, w[1].rank)));
+    }
+
+    #[test]
+    fn metrics_fixture_folds_all_ranks() {
+        let ranks = touched_rank_metrics(8);
+        let folded = fold_metrics(&ranks);
+        assert_eq!(folded.snapshot().counter("chkpt_faults_total"), 8 * 64);
+    }
+
+    #[test]
+    fn buddy_store_fetch_roundtrips() {
+        let (store, data, chunk) = buddy_store(256 * 1024);
+        let (fetched, cost) = store.fetch(0, chunk).expect("fetch");
+        assert_eq!(fetched, data);
+        assert!(cost > SimDuration::ZERO);
+    }
+}

@@ -55,6 +55,9 @@ pub struct SyntheticApp {
     chunks: Vec<AppChunk>,
     compute_per_iter: SimDuration,
     comm_bytes: u64,
+    /// Reusable write-schedule buffer so `iterate` allocates nothing
+    /// after the first iteration.
+    schedule_scratch: Vec<(f64, usize)>,
 }
 
 impl SyntheticApp {
@@ -79,6 +82,7 @@ impl SyntheticApp {
             chunks,
             compute_per_iter,
             comm_bytes,
+            schedule_scratch: Vec::new(),
         }
     }
 
@@ -227,8 +231,17 @@ impl SyntheticApp {
 
     /// Write schedule for one iteration: `(fraction_of_iteration,
     /// chunk_index)` events, sorted by fraction.
+    #[cfg(test)]
     fn schedule(&self, iter: u64) -> Vec<(f64, usize)> {
         let mut events = Vec::new();
+        self.schedule_into(iter, &mut events);
+        events
+    }
+
+    /// Fill `events` with one iteration's write schedule (cleared
+    /// first), reusing its capacity across iterations.
+    fn schedule_into(&self, iter: u64, events: &mut Vec<(f64, usize)>) {
+        events.clear();
         for (i, c) in self.chunks.iter().enumerate() {
             match c.pattern {
                 ModPattern::InitOnly => {
@@ -250,7 +263,6 @@ impl SyntheticApp {
             }
         }
         events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        events
     }
 }
 
@@ -268,9 +280,10 @@ impl Workload for SyntheticApp {
     }
 
     fn iterate(&mut self, engine: &mut CheckpointEngine, iter: u64) -> Result<(), EngineError> {
-        let events = self.schedule(iter);
+        let mut events = std::mem::take(&mut self.schedule_scratch);
+        self.schedule_into(iter, &mut events);
         let mut last_frac = 0.0;
-        for (frac, idx) in events {
+        for &(frac, idx) in &events {
             if frac > last_frac {
                 engine.compute(self.compute_per_iter * (frac - last_frac));
                 last_frac = frac;
@@ -279,6 +292,7 @@ impl Workload for SyntheticApp {
             let id = c.id.expect("setup ran");
             engine.write_synthetic(id, 0, c.spec.bytes)?;
         }
+        self.schedule_scratch = events;
         if last_frac < 1.0 {
             engine.compute(self.compute_per_iter * (1.0 - last_frac));
         }

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Ratio-based perf-regression gate for the nvm-perf bench suite.
+
+Reads the stdout of `cargo bench -p nvm-perf --bench hotpaths` (lines
+shaped `bench: <label> <ns> ns/iter`), divides every benchmark's
+ns/iter by the calibration benchmark's ns/iter on the same run, and
+compares those machine-normalized ratios against the committed
+baseline `experiments/perf_baseline.json`. Raw nanoseconds differ
+wildly across runners; the ratio to a fixed pure-ALU spin loop is
+stable enough to gate on with a generous relative threshold.
+
+Usage:
+    cargo bench -p nvm-perf --bench hotpaths | tee bench.out
+    python3 scripts/check_perf.py bench.out            # gate
+    python3 scripts/check_perf.py --bless bench.out    # rewrite baseline
+
+Exit codes: 0 pass, 1 regression or structural mismatch, 2 bad input.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "experiments" / "perf_baseline.json"
+BENCH_LINE = re.compile(r"^bench:\s+(\S+)\s+(\d+(?:\.\d+)?)\s+ns/iter")
+CALIBRATION = "calibration/spin_64k"
+# Fail only on >25% regression of the normalized ratio: wide enough
+# that shared-runner noise does not flake, tight enough that a real
+# hot-path regression (typically 2x+) cannot hide.
+THRESHOLD = 1.25
+
+
+def parse_bench_output(text):
+    """Map of label -> ns/iter from criterion-shim stdout."""
+    results = {}
+    for line in text.splitlines():
+        m = BENCH_LINE.match(line.strip())
+        if m:
+            results[m.group(1)] = float(m.group(2))
+    return results
+
+
+def normalize(results):
+    """Map of label -> ratio to the calibration benchmark."""
+    cal = results.get(CALIBRATION)
+    if not cal or cal <= 0:
+        raise ValueError(f"calibration benchmark {CALIBRATION!r} missing from output")
+    return {
+        label: ns / cal for label, ns in results.items() if label != CALIBRATION
+    }
+
+
+def bless(results, baseline_path):
+    ratios = normalize(results)
+    baseline = {
+        "calibration": CALIBRATION,
+        "threshold": THRESHOLD,
+        "calibration_ns_when_blessed": results[CALIBRATION],
+        "benches": {
+            label: {
+                "ns_per_iter_when_blessed": results[label],
+                "ratio_to_calibration": round(ratios[label], 4),
+            }
+            for label in sorted(ratios)
+        },
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"blessed {len(ratios)} benchmarks -> {baseline_path}")
+
+
+def gate(results, baseline_path):
+    baseline = json.loads(baseline_path.read_text())
+    threshold = baseline.get("threshold", THRESHOLD)
+    ratios = normalize(results)
+    expected = baseline["benches"]
+
+    failures = []
+    missing = sorted(set(expected) - set(ratios))
+    for label in missing:
+        failures.append(f"benchmark {label!r} in baseline but not in output")
+    for label in sorted(set(ratios) - set(expected)):
+        failures.append(
+            f"benchmark {label!r} not in baseline; re-bless with --bless"
+        )
+
+    print(f"{'benchmark':<42} {'baseline':>10} {'current':>10} {'ratio':>7}  verdict")
+    for label in sorted(set(ratios) & set(expected)):
+        base = expected[label]["ratio_to_calibration"]
+        cur = ratios[label]
+        rel = cur / base if base > 0 else float("inf")
+        if rel > threshold:
+            verdict = f"FAIL (> {threshold:.2f}x)"
+            failures.append(
+                f"{label}: normalized ratio {cur:.4f} vs baseline {base:.4f} "
+                f"({rel:.2f}x, threshold {threshold:.2f}x)"
+            )
+        elif rel < 1 / threshold:
+            verdict = "ok (improved; consider --bless)"
+        else:
+            verdict = "ok"
+        print(f"{label:<42} {base:>10.4f} {cur:>10.4f} {rel:>6.2f}x  {verdict}")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({len(ratios)} benchmarks within {threshold:.2f}x).")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_output", help="file with `cargo bench` stdout, or - for stdin")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    ap.add_argument(
+        "--bless", action="store_true", help="rewrite the baseline from this run"
+    )
+    args = ap.parse_args()
+
+    if args.bench_output == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(args.bench_output).read_text()
+    results = parse_bench_output(text)
+    if not results:
+        print("no `bench:` lines found in input", file=sys.stderr)
+        return 2
+    try:
+        if args.bless:
+            bless(results, args.baseline)
+            return 0
+        return gate(results, args.baseline)
+    except (ValueError, KeyError, FileNotFoundError) as e:
+        print(f"perf gate error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
