@@ -2,7 +2,7 @@
 //! cluster, plus the MADBench sink models — measures the *harness*
 //! itself, so regressions in simulation speed are caught.
 
-use cluster_sim::{ClusterConfig, ClusterSim, UniformWorkload, Workload};
+use cluster_sim::{Cluster, ClusterConfig, RunOptions, UniformWorkload, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpc_workloads::madbench::{run_madbench, MadBenchConfig};
 use nvm_chkpt::PrecopyPolicy;
@@ -39,7 +39,7 @@ fn bench_policies(c: &mut Criterion) {
                             MB as u64,
                         ))
                     };
-                    black_box(ClusterSim::new(cfg, factory).unwrap().run().unwrap())
+                    black_box(Cluster::new(cfg, factory).run(RunOptions::new()).unwrap())
                 })
             },
         );

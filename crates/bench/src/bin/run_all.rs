@@ -114,6 +114,11 @@ fn main() {
     scaling::render(&sc).print();
     write_json("scaling_threads", &sc);
 
+    // The rank-scaling sweep (`scaling_ranks`) is a dedicated binary:
+    // its peak-RSS column reads the process-wide VmHWM, which cannot
+    // reset below the residue the twenty experiments above leave
+    // behind, so it must run in a fresh process to measure anything.
+
     let g = ablations::run_granularity(&scale);
     ablations::render_granularity(&g).print();
     write_json("ablation_granularity", &g);

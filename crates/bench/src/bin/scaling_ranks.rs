@@ -1,0 +1,22 @@
+//! Regenerate the rank-scaling sweep (`scaling_ranks.json`): wall
+//! clock and peak RSS vs rank count for byte-materialized,
+//! CRC-verified runs with device spill, plus the hard-failure
+//! recovery probe at the largest rank count. `--quick` stops the
+//! sweep at 128 ranks; `--threads N` runs ranks on N worker threads.
+use nvm_bench::experiments::scaling_ranks;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let out = scaling_ranks::run(&args.scale());
+    scaling_ranks::render(&out).print();
+    println!(
+        "\nrecovery probe at {} ranks: source {}, {} chunks bit-verified, {:.2} MB fetched",
+        out.recovery.ranks,
+        out.recovery.source,
+        out.recovery.verified_chunks,
+        out.recovery.bytes_fetched_mb
+    );
+    write_json("scaling_ranks", &out);
+}

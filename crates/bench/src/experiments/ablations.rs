@@ -11,10 +11,10 @@
 //!    core copying all ranks' data serially vs every core copying its
 //!    own data in parallel under contention.
 
-use crate::experiments::{cluster_config, make_app};
+use crate::experiments::{cluster_config, make_app, run_cluster};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::ClusterSim;
+use cluster_sim::RunOptions;
 use nvm_chkpt::{
     CheckpointEngine, EngineConfig, Granularity, Materialization, PrecopyPolicy, Versioning,
 };
@@ -41,10 +41,7 @@ pub fn run_granularity(scale: &Scale) -> Vec<GranularityRow> {
         .map(|&g| {
             let mut cfg = cluster_config(scale, PrecopyPolicy::Cpc);
             cfg.engine = cfg.engine.with_granularity(g);
-            let r = ClusterSim::new(cfg, |_| make_app("lammps", scale))
-                .expect("sim")
-                .run()
-                .expect("run");
+            let r = run_cluster(cfg, "lammps", scale, RunOptions::new());
             GranularityRow {
                 granularity: format!("{g:?}"),
                 total_s: r.total_time.as_secs_f64(),
@@ -78,10 +75,7 @@ pub fn run_prediction(scale: &Scale) -> Vec<PredictionRow> {
     .iter()
     .map(|&p| {
         let cfg = cluster_config(scale, p);
-        let r = ClusterSim::new(cfg, |_| make_app("lammps", scale))
-            .expect("sim")
-            .run()
-            .expect("run");
+        let r = run_cluster(cfg, "lammps", scale, RunOptions::new());
         let ranks = scale.total_ranks() as f64;
         let mb = (1 << 20) as f64;
         PredictionRow {

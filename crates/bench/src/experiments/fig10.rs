@@ -7,10 +7,10 @@
 //! lower). The pre-copy trace also shows an *initial* spike — the
 //! learning phase, before the delay-based optimizations engage.
 
-use crate::experiments::{cluster_config, make_app};
+use crate::experiments::{cluster_config, run_cluster};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::{ClusterSim, RemoteConfig};
+use cluster_sim::{RemoteConfig, RunOptions};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
 use serde::Serialize;
@@ -49,10 +49,7 @@ pub fn run(scale: &Scale) -> Fig10Result {
         };
         let mut cfg = cluster_config(scale, policy);
         cfg.remote = Some(RemoteConfig::infiniband(interval, precopy));
-        ClusterSim::new(cfg, |_| make_app(app, scale))
-            .expect("sim")
-            .run()
-            .expect("run")
+        run_cluster(cfg, app, scale, RunOptions::new())
     };
     let pre = run_one(true);
     let nopre = run_one(false);

@@ -7,10 +7,10 @@
 //! at high bandwidth/long intervals; averaged across apps, pre-copy
 //! adds 6.2% runtime vs 10.6% for no-pre-copy (~40% reduction).
 
-use crate::experiments::{cluster_config, make_app, BW_SWEEP_MB};
+use crate::experiments::{cluster_config, run_cluster, BW_SWEEP_MB};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::{ClusterSim, RemoteConfig};
+use cluster_sim::{RemoteConfig, RunOptions};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
 use serde::Serialize;
@@ -39,10 +39,7 @@ pub const REMOTE_INTERVALS_S: [u64; 3] = [47, 90, 180];
 pub fn run(scale: &Scale) -> Vec<Fig9Row> {
     let app = "gtc";
     let ideal_cfg = cluster_config(scale, PrecopyPolicy::None).ideal_variant();
-    let ideal = ClusterSim::new(ideal_cfg, |_| make_app(app, scale))
-        .expect("ideal sim")
-        .run()
-        .expect("ideal run");
+    let ideal = run_cluster(ideal_cfg, app, scale, RunOptions::new());
 
     let mut rows = Vec::new();
     for &bw in &BW_SWEEP_MB {
@@ -59,10 +56,7 @@ pub fn run(scale: &Scale) -> Vec<Fig9Row> {
                     SimDuration::from_secs(interval),
                     precopy,
                 ));
-                let r = ClusterSim::new(cfg, |_| make_app(app, scale))
-                    .expect("sim")
-                    .run()
-                    .expect("run");
+                let r = run_cluster(cfg, app, scale, RunOptions::new());
                 let eff = r.efficiency_vs(&ideal);
                 rows.push(Fig9Row {
                     bw_mb: bw,

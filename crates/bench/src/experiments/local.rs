@@ -9,10 +9,10 @@
 //! CM1; and the whole NVM-as-memory approach beats an NVM-as-ramdisk
 //! variant by ~15%.
 
-use crate::experiments::{cluster_config, make_app, BW_SWEEP_MB};
+use crate::experiments::{cluster_config, run_cluster, BW_SWEEP_MB};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::ClusterSim;
+use cluster_sim::RunOptions;
 use hpc_workloads::madbench::CheckpointSink;
 use nvm_chkpt::PrecopyPolicy;
 use ramdisk_baseline::{MemorySink, RamdiskSink};
@@ -58,10 +58,7 @@ pub fn run(app: &str, scale: &Scale) -> Vec<LocalRow> {
     let mut rows = Vec::new();
     // Ideal run: no checkpoints at all; independent of NVM bandwidth.
     let ideal_cfg = cluster_config(scale, PrecopyPolicy::None).ideal_variant();
-    let ideal = ClusterSim::new(ideal_cfg, |_| make_app(app, scale))
-        .expect("ideal sim")
-        .run()
-        .expect("ideal run");
+    let ideal = run_cluster(ideal_cfg, app, scale, RunOptions::new());
     let ideal_s = ideal.total_time.as_secs_f64();
 
     for &bw in &BW_SWEEP_MB {
@@ -69,10 +66,7 @@ pub fn run(app: &str, scale: &Scale) -> Vec<LocalRow> {
         let run_policy = |policy: PrecopyPolicy| {
             let mut cfg = cluster_config(scale, policy);
             cfg.nvm_bw_per_core = Some(bw_bytes);
-            ClusterSim::new(cfg, |_| make_app(app, scale))
-                .expect("sim")
-                .run()
-                .expect("run")
+            run_cluster(cfg, app, scale, RunOptions::new())
         };
         let pre = run_policy(PrecopyPolicy::Dcpcp);
         let nopre = run_policy(PrecopyPolicy::None);

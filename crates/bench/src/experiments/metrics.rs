@@ -14,20 +14,23 @@
 use crate::experiments::{cluster_config, make_app};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::{ClusterSim, RemoteConfig};
+use cluster_sim::{Cluster, RemoteConfig, RunOptions};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_metrics::{names, to_prometheus_text, MetricsReport};
 
 /// Run the metered simulation and return its metrics report.
 pub fn run(scale: &Scale) -> MetricsReport {
-    let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp).with_metrics(true);
+    let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp);
     cfg.remote = Some(RemoteConfig::infiniband(scale.local_interval * 2, true));
-    ClusterSim::new(cfg, |_| make_app("gtc", scale))
-        .expect("metered sim")
-        .run()
-        .expect("metered run")
-        .metrics
-        .expect("metrics enabled")
+    Cluster::new(cfg, {
+        let scale = *scale;
+        move |_| make_app("gtc", &scale)
+    })
+    .run(RunOptions::new().with_metrics(true))
+    .expect("metered run")
+    .result
+    .metrics
+    .expect("metrics enabled")
 }
 
 /// Sibling path for the Prometheus text exposition.

@@ -15,6 +15,7 @@ pub mod metrics;
 pub mod model_val;
 pub mod multilevel_recovery;
 pub mod scaling;
+pub mod scaling_ranks;
 pub mod store;
 pub mod table1;
 pub mod table4;
@@ -22,9 +23,21 @@ pub mod table5;
 pub mod tracing;
 
 use crate::scale::Scale;
-use cluster_sim::{ClusterConfig, Workload};
+use cluster_sim::{Cluster, ClusterConfig, RunOptions, RunResult, Workload};
 use hpc_workloads::SyntheticApp;
 use nvm_chkpt::PrecopyPolicy;
+
+/// Run `cfg` with every rank hosting the named application at `scale`
+/// — the shared call path for experiments that only need the
+/// deterministic [`RunResult`].
+pub fn run_cluster(cfg: ClusterConfig, app: &str, scale: &Scale, opts: RunOptions) -> RunResult {
+    let app = app.to_string();
+    let scale = *scale;
+    Cluster::new(cfg, move |_| make_app(&app, &scale))
+        .run(opts)
+        .expect("cluster run")
+        .result
+}
 
 /// Build one rank's workload for a named application at the given
 /// scale.

@@ -8,7 +8,8 @@
 
 use crate::report::Table;
 use cluster_sim::{
-    evaluate, ClusterConfig, ClusterSim, FailureConfig, ModelParams, UniformWorkload, Workload,
+    evaluate, Cluster, ClusterConfig, FailureConfig, ModelParams, RunOptions, UniformWorkload,
+    Workload,
 };
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
@@ -69,10 +70,10 @@ pub fn run() -> Vec<ModelValRow> {
                 0,
             ))
         };
-        let sim = ClusterSim::new(cfg, factory)
-            .expect("sim")
-            .run()
-            .expect("run");
+        let sim = Cluster::new(cfg, factory)
+            .run(RunOptions::new())
+            .expect("run")
+            .result;
 
         // --- closed form ---
         let t_compute = compute_per_iter * iterations;

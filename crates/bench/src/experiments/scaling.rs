@@ -26,7 +26,7 @@
 use super::{cluster_config, make_app};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::{ClusterSim, RunProfile};
+use cluster_sim::{Cluster, RunOptions, RunProfile};
 use nvm_chkpt::PrecopyPolicy;
 use serde::Serialize;
 use std::time::Instant;
@@ -79,10 +79,16 @@ pub fn run(scale: &Scale) -> Sweep {
     for &threads in &THREAD_SWEEP {
         let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp);
         cfg.threads = threads;
-        let sim = ClusterSim::new(cfg, |_| make_app("lammps", scale)).expect("cluster setup");
+        let sim = Cluster::new(cfg, {
+            let scale = *scale;
+            move |_| make_app("lammps", &scale)
+        });
         let start = Instant::now();
-        let (result, profile) = sim.run_profiled().expect("cluster run");
+        let outcome = sim
+            .run(RunOptions::new().with_profile(true))
+            .expect("cluster run");
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let (result, profile) = (outcome.result, outcome.profile.expect("profile requested"));
         let json = serde_json::to_string(&result).expect("serialize result");
         if threads == 1 {
             serial_json = json.clone();

@@ -11,7 +11,7 @@
 use crate::experiments::{cluster_config, make_app};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::{recover_store_dir, ClusterSim, RankRecovery};
+use cluster_sim::{Cluster, RankRecovery, RunOptions};
 use nvm_chkpt::{CheckpointEngine, PrecopyPolicy, RestartStrategy, Tracer};
 use nvm_emu::{MemoryDevice, VirtualClock};
 use nvm_store::FileStore;
@@ -44,15 +44,17 @@ pub struct StoreRow {
 /// Run the store-attached simulation, then recover every rank from
 /// its container file under `dir` once per restart strategy.
 pub fn run(scale: &Scale, dir: &Path) -> Vec<StoreRow> {
-    let config = cluster_config(scale, PrecopyPolicy::Dcpcp).with_store_dir(dir);
+    let config = cluster_config(scale, PrecopyPolicy::Dcpcp);
     let engine_config = config.engine;
     let container_bytes = config.container_bytes;
-    ClusterSim::new(config, |_| make_app("gtc", scale))
-        .expect("store-attached sim")
-        .run()
-        .expect("store-attached run");
+    Cluster::new(config, {
+        let scale = *scale;
+        move |_| make_app("gtc", &scale)
+    })
+    .run(RunOptions::new().with_store_dir(dir))
+    .expect("store-attached run");
 
-    let recoveries = recover_store_dir(dir).expect("recover store dir");
+    let recoveries = Cluster::recover_dir(dir).expect("recover store dir");
     assert!(!recoveries.is_empty(), "run left no containers in {dir:?}");
 
     let mut rows = Vec::new();

@@ -13,10 +13,10 @@
 //! scanning + incremental re-shipping) but stays small node-wide
 //! (~2.5% of 12 cores).
 
-use crate::experiments::{cluster_config, make_app};
+use crate::experiments::{cluster_config, run_cluster};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::{ClusterSim, RemoteConfig};
+use cluster_sim::{RemoteConfig, RunOptions};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
 use serde::Serialize;
@@ -57,10 +57,7 @@ pub fn run(scale: &Scale) -> Vec<Table5Row> {
                 };
                 let mut cfg = cluster_config(&s, policy);
                 cfg.remote = Some(RemoteConfig::infiniband(interval, precopy));
-                ClusterSim::new(cfg, |_| make_app("lammps", &s))
-                    .expect("sim")
-                    .run()
-                    .expect("run")
+                run_cluster(cfg, "lammps", &s, RunOptions::new())
             };
             let pre = run_one(true);
             let nopre = run_one(false);

@@ -9,7 +9,7 @@
 use crate::experiments::{cluster_config, make_app};
 use crate::report::Table;
 use crate::scale::Scale;
-use cluster_sim::{ClusterSim, RemoteConfig};
+use cluster_sim::{Cluster, RemoteConfig, RunOptions};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_trace::{summarize, to_chrome_trace, to_jsonl, TraceEvent, TraceSummary};
 
@@ -18,15 +18,19 @@ use nvm_trace::{summarize, to_chrome_trace, to_jsonl, TraceEvent, TraceSummary};
 /// container per rank under that directory, so the stream carries
 /// `StoreWrite`/`StoreCommit` events alongside the engine events.
 pub fn run(scale: &Scale, store: Option<&std::path::Path>) -> (Vec<TraceEvent>, TraceSummary) {
-    let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp).with_trace(true);
+    let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp);
     cfg.remote = Some(RemoteConfig::infiniband(scale.local_interval * 2, true));
+    let mut opts = RunOptions::new().with_trace(true);
     if let Some(dir) = store {
-        cfg = cfg.with_store_dir(dir);
+        opts = opts.with_store_dir(dir);
     }
-    let r = ClusterSim::new(cfg, |_| make_app("gtc", scale))
-        .expect("traced sim")
-        .run()
-        .expect("traced run");
+    let r = Cluster::new(cfg, {
+        let scale = *scale;
+        move |_| make_app("gtc", &scale)
+    })
+    .run(opts)
+    .expect("traced run")
+    .result;
     let summary = summarize(&r.trace);
     (r.trace, summary)
 }

@@ -191,6 +191,19 @@ impl RunArgs {
         self.threads.unwrap_or(1)
     }
 
+    /// The per-run [`cluster_sim::RunOptions`] these arguments select:
+    /// trace and metrics capture turn on when their export paths were
+    /// given, and `--store DIR` becomes the durable-store directory.
+    pub fn options(&self) -> cluster_sim::RunOptions {
+        let mut opts = cluster_sim::RunOptions::new()
+            .with_trace(self.trace.is_some())
+            .with_metrics(self.metrics.is_some());
+        if let Some(dir) = &self.store {
+            opts = opts.with_store_dir(dir);
+        }
+        opts
+    }
+
     /// The local-cluster scale these arguments select.
     pub fn scale(&self) -> Scale {
         if self.quick {
@@ -288,6 +301,17 @@ mod tests {
         assert!(parse(&["--trace="]).unwrap_err().contains("value"));
         assert!(parse(&["--metrics"]).unwrap_err().contains("value"));
         assert!(parse(&["--quick=yes"]).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn options_follow_the_capture_flags() {
+        let none = parse(&[]).unwrap().options();
+        assert!(!none.trace && !none.metrics && none.store_dir.is_none());
+        let full = parse(&["--trace", "t.jsonl", "--metrics", "m.json", "--store", "d"])
+            .unwrap()
+            .options();
+        assert!(full.trace && full.metrics);
+        assert_eq!(full.store_dir.as_deref(), Some(std::path::Path::new("d")));
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! * [`app`] — the [`app::Workload`] trait rank behaviours implement.
 //! * [`schedule`] — activity traces for timing-diagram assertions
 //!   (Figures 1 and 5).
-//! * [`run`] — [`run::ClusterSim`]: the cluster orchestrator that
+//! * [`config`] — [`config::ClusterConfig`] and its builder: cluster
+//!   shape, provisioning, and the ring-buddy topology helpers.
+//! * [`run`] — [`run::Cluster`]: the cluster orchestrator that
 //!   produces every remote-checkpointing result (Figures 9 and 10,
-//!   Table V) and the execution-time side of Figures 7 and 8.
+//!   Table V) and the execution-time side of Figures 7 and 8, run
+//!   with composable [`run::RunOptions`].
 //! * [`store`] — recovery of a store-attached run
-//!   ([`run::ClusterConfig::store_dir`]) from its per-rank container
+//!   ([`run::RunOptions::store_dir`]) from its per-rank container
 //!   files alone.
 
 //! ```
@@ -36,6 +39,7 @@
 
 pub mod app;
 pub mod comm;
+pub mod config;
 pub mod failure;
 pub mod model;
 pub mod profile;
@@ -47,16 +51,20 @@ pub mod store;
 
 pub use app::{UniformWorkload, Workload};
 pub use comm::{AlphaBeta, Collective, CommPattern};
+pub use config::{ClusterConfig, ClusterConfigBuilder, ConfigError, RemoteConfig};
 pub use failure::{FailureConfig, FailureEvent, FailureKind, FailureSchedule};
 pub use model::{
     evaluate, optimal_interval, plan_two_level, ModelParams, ModelPrediction, TwoLevelPlan,
 };
+pub use profile::thread_cpu_ns;
 pub use profile::RunProfile;
 pub use recovery::{collapse_batch, RecoveredChunkRecord, RecoveryRecord, RecoverySource};
 pub use reliability::{
     expected_failures, schedule_loses_pair, simulated_unrecoverable_rate,
     unrecoverable_probability, unrecoverable_probability_for, BuddyTopology, ReliabilityParams,
 };
-pub use run::{ClusterConfig, ClusterSim, RemoteConfig, RunResult, SimError};
+pub use run::{Cluster, ClusterSim, RunOptions, RunOutcome, RunResult, SimError, SpillReport};
 pub use schedule::{Activity, ScheduleTrace, Span};
-pub use store::{recover_store_dir, RankRecovery};
+#[allow(deprecated)]
+pub use store::recover_store_dir;
+pub use store::RankRecovery;

@@ -1,17 +1,20 @@
 //! Wall-clock/CPU profiling side channel for [`crate::run::ClusterSim`].
 //!
 //! [`RunProfile`] is returned *next to* a
-//! [`crate::run::RunResult`] by `ClusterSim::run_profiled`, never
-//! inside it: results are byte-identity-gated across thread counts and
-//! machines, and timing data is neither. The profile decomposes a run
-//! into
+//! [`crate::run::RunResult`] in [`crate::run::RunOutcome`] (request it
+//! with `RunOptions::new().with_profile(true)`), never inside it:
+//! results are byte-identity-gated across thread counts and machines,
+//! and timing data is neither. The profile decomposes a run into
 //!
 //! * **per-rank busy time** — thread CPU time spent inside each rank's
 //!   workload iteration and checkpoint callbacks (the part
-//!   `--threads N` spreads over workers), and
+//!   `--threads N` spreads over workers),
+//! * **per-shard merge time** — thread CPU time spent draining and
+//!   pre-merging each shard's trace/metrics/stat streams (spread over
+//!   workers shard-by-shard), and
 //! * **coordinator overhead** — everything else on the wall: barrier
-//!   arithmetic, failure handling, helper/link bookkeeping, and merges
-//!   (the serial floor that caps scaling).
+//!   arithmetic, failure handling, helper/link bookkeeping, and the
+//!   final O(shards) fold (the serial floor that caps scaling).
 //!
 //! From that split and the *actual* contiguous chunk partition used by
 //! the worker pool, [`RunProfile::projected_speedup`] computes the
@@ -72,6 +75,10 @@ pub struct RunProfile {
     /// global rank (flattened node-major order — the same order the
     /// worker pool chunks).
     pub rank_busy_ns: Vec<u64>,
+    /// Thread-CPU nanoseconds spent pre-merging each shard's
+    /// trace/metrics/stat streams, indexed by shard (contiguous node
+    /// chunks — the same partition the merge pool uses).
+    pub merge_busy_ns: Vec<u64>,
     /// Worker threads the run was configured with.
     pub threads: usize,
 }
@@ -82,34 +89,46 @@ impl RunProfile {
         self.rank_busy_ns.iter().sum()
     }
 
-    /// The serial floor: wall time not attributable to rank callbacks.
-    /// Meaningful as a *serial* floor only when the run itself was
-    /// serial (`threads == 1`); in a parallel run rank work overlaps
-    /// the wall and the subtraction under-counts.
+    /// Total shard-parallel merge work on the wall.
+    pub fn total_merge_busy_ns(&self) -> u64 {
+        self.merge_busy_ns.iter().sum()
+    }
+
+    /// The serial floor: wall time not attributable to rank callbacks
+    /// or shard merges. Meaningful as a *serial* floor only when the
+    /// run itself was serial (`threads == 1`); in a parallel run that
+    /// work overlaps the wall and the subtraction under-counts.
     pub fn coordinator_ns(&self) -> u64 {
-        self.wall_ns.saturating_sub(self.total_rank_busy_ns())
+        self.wall_ns
+            .saturating_sub(self.total_rank_busy_ns())
+            .saturating_sub(self.total_merge_busy_ns())
+    }
+
+    /// Busiest contiguous `div_ceil` chunk of `work` at `threads`
+    /// workers — the wall cost of one parallel phase.
+    fn busiest_chunk_ns(work: &[u64], threads: usize) -> u64 {
+        if work.is_empty() {
+            return 0;
+        }
+        let chunk = work.len().div_ceil(threads.min(work.len()));
+        work.chunks(chunk)
+            .map(|c| c.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Wall time a `threads`-worker run of the same work would take on
     /// a host with at least `threads` free cores: the serial floor
-    /// plus the busiest worker chunk, using the pool's real contiguous
-    /// `div_ceil` partition of ranks.
+    /// plus the busiest rank chunk plus the busiest merge chunk, using
+    /// the pools' real contiguous `div_ceil` partitions.
     pub fn projected_wall_ns(&self, threads: usize) -> u64 {
         let threads = threads.max(1);
-        if self.rank_busy_ns.is_empty() {
+        if self.rank_busy_ns.is_empty() && self.merge_busy_ns.is_empty() {
             return self.wall_ns;
         }
-        let chunk = self
-            .rank_busy_ns
-            .len()
-            .div_ceil(threads.min(self.rank_busy_ns.len()));
-        let busiest = self
-            .rank_busy_ns
-            .chunks(chunk)
-            .map(|c| c.iter().sum::<u64>())
-            .max()
-            .unwrap_or(0);
-        self.coordinator_ns() + busiest
+        self.coordinator_ns()
+            + Self::busiest_chunk_ns(&self.rank_busy_ns, threads)
+            + Self::busiest_chunk_ns(&self.merge_busy_ns, threads)
     }
 
     /// `wall / projected_wall(threads)` — the speedup the measured
@@ -153,15 +172,17 @@ mod tests {
         let p = RunProfile {
             wall_ns: 400,
             rank_busy_ns: vec![100; 4],
+            merge_busy_ns: Vec::new(),
             threads: 1,
         };
         assert_eq!(p.coordinator_ns(), 0);
         assert_eq!(p.projected_wall_ns(4), 100);
         assert!((p.projected_speedup(4) - 4.0).abs() < 1e-9);
-        // Serial floor of 100: speedup at 4 = 400/200 = 2.
+        // Serial floor of 100: speedup at 4 = 500/200 = 2.5.
         let p = RunProfile {
             wall_ns: 500,
             rank_busy_ns: vec![100; 4],
+            merge_busy_ns: Vec::new(),
             threads: 1,
         };
         assert_eq!(p.coordinator_ns(), 100);
@@ -170,6 +191,7 @@ mod tests {
         let p = RunProfile {
             wall_ns: 500,
             rank_busy_ns: vec![100; 5],
+            merge_busy_ns: Vec::new(),
             threads: 1,
         };
         assert_eq!(p.projected_wall_ns(2), 300);
@@ -178,10 +200,27 @@ mod tests {
     }
 
     #[test]
+    fn merge_work_scales_like_rank_work_in_the_projection() {
+        // 4 ranks of 100 + 2 shards of 50, serial floor 100.
+        let p = RunProfile {
+            wall_ns: 600,
+            rank_busy_ns: vec![100; 4],
+            merge_busy_ns: vec![50; 2],
+            threads: 1,
+        };
+        assert_eq!(p.coordinator_ns(), 100);
+        // 2 threads: 100 + 200 (rank chunk) + 50 (merge chunk).
+        assert_eq!(p.projected_wall_ns(2), 350);
+        // Plenty of threads: 100 + 100 + 50.
+        assert_eq!(p.projected_wall_ns(64), 250);
+    }
+
+    #[test]
     fn degenerate_profiles_do_not_panic() {
         let p = RunProfile {
             wall_ns: 0,
             rank_busy_ns: Vec::new(),
+            merge_busy_ns: Vec::new(),
             threads: 1,
         };
         assert_eq!(p.projected_wall_ns(8), 0);

@@ -37,191 +37,38 @@
 
 use crate::app::Workload;
 use crate::comm::AlphaBeta;
-use crate::failure::{FailureConfig, FailureKind, FailureSchedule};
+use crate::failure::{FailureKind, FailureSchedule};
 use crate::profile::{thread_cpu_ns, RunProfile};
 use crate::recovery::{collapse_batch, RecoveredChunkRecord, RecoveryRecord, RecoverySource};
 use crate::schedule::{Activity, ScheduleTrace};
+use crate::store::RankRecovery;
 use nvm_chkpt::checksum::crc64;
 use nvm_chkpt::{
-    CheckpointEngine, EngineConfig, EngineError, EngineStats, EpochReport, Materialization,
-    RemoteImage, RestartStrategy,
+    CheckpointEngine, EngineError, EngineStats, EpochReport, Materialization, RemoteImage,
+    RestartStrategy,
 };
-use nvm_emu::{BandwidthModel, MemoryDevice, SimDuration, SimTime, VirtualClock};
+use nvm_emu::{BandwidthModel, MemoryDevice, SimDuration, SimTime, TempDir, VirtualClock};
 use nvm_metrics::{names, MergeStats, Metrics, MetricsRegistry, MetricsReport};
-use nvm_store::{FileStore, PersistError, Persistence, StoreStats};
+use nvm_store::{FileSpill, FileStore, PersistError, Persistence, StoreStats};
 use nvm_trace::{BufferSink, TraceEvent, TraceEventKind, Tracer};
 use rdma_sim::armci::RemoteError;
 use rdma_sim::{
-    fetch_with_retry, FaultModel, HelperParams, HelperProcess, HelperStats, Link, RemoteStore,
-    RetryPolicy, UsageTrace,
+    fetch_with_retry, FaultModel, HelperProcess, HelperStats, Link, RemoteStore, RetryPolicy,
+    UsageTrace,
 };
 use serde::{Deserialize, Serialize};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-/// Remote checkpointing configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct RemoteConfig {
-    /// Remote checkpoint interval (>= local interval; the paper uses
-    /// 47-180 s against a 40 s local interval).
-    pub interval: SimDuration,
-    /// Remote pre-copy on/off.
-    pub precopy: bool,
-    /// Per-node link bandwidth, bytes/s.
-    pub link_bandwidth: f64,
-    /// Helper cost parameters.
-    pub helper: HelperParams,
-}
-
-impl RemoteConfig {
-    /// 40 Gb/s InfiniBand with default helper costs.
-    pub fn infiniband(interval: SimDuration, precopy: bool) -> Self {
-        RemoteConfig {
-            interval,
-            precopy,
-            link_bandwidth: rdma_sim::IB_40GBPS,
-            helper: HelperParams::default(),
-        }
-    }
-}
-
-/// Cluster/run configuration.
-#[derive(Clone)]
-pub struct ClusterConfig {
-    /// Number of nodes.
-    pub nodes: usize,
-    /// Ranks (cores) per node.
-    pub ranks_per_node: usize,
-    /// NVM container bytes per rank.
-    pub container_bytes: usize,
-    /// Engine configuration (pre-copy policy, versioning, ...).
-    pub engine: EngineConfig,
-    /// Fixed effective NVM bandwidth per core; `None` uses the
-    /// contended Figure-4 curve.
-    pub nvm_bw_per_core: Option<f64>,
-    /// Local checkpoint interval; `None` disables local checkpoints
-    /// (ideal runs).
-    pub local_interval: Option<SimDuration>,
-    /// Remote checkpointing; `None` disables it.
-    pub remote: Option<RemoteConfig>,
-    /// Iterations to run.
-    pub iterations: u64,
-    /// Failure injection; `None` is a failure-free run.
-    pub failures: Option<FailureConfig>,
-    /// Horizon for failure-schedule generation.
-    pub failure_horizon: SimDuration,
-    /// Explicit failure schedule, overriding generation from
-    /// [`ClusterConfig::failures`] — scripted failure scenarios for
-    /// recovery tests and experiments.
-    pub schedule_override: Option<FailureSchedule>,
-    /// Worker threads for rank execution (`1` = fully serial). Ranks
-    /// advance private virtual clocks inside an epoch and synchronize
-    /// only at the coordinated-checkpoint barriers, so a parallel run
-    /// is bit-identical to a serial run on the same seed: per-rank
-    /// state is disjoint, device charge costs depend only on
-    /// length/concurrency (never on arrival order), and every
-    /// cross-rank reduction iterates in rank order on the
-    /// coordinator.
-    pub threads: usize,
-    /// Collect a structured event trace of the run. Each rank buffers
-    /// its own events; the coordinator merges them in `(time, rank)`
-    /// order into [`RunResult::trace`], so the trace is bit-identical
-    /// for serial and multi-threaded execution.
-    pub trace: bool,
-    /// Collect aggregate metrics. Each rank's engine records into a
-    /// private registry and each node's devices/helper into a per-node
-    /// registry (commutative updates only); the coordinator merges
-    /// rank registries in rank order, then node registries in node
-    /// order, into [`RunResult::metrics`] — bit-identical for serial
-    /// and multi-threaded execution.
-    pub metrics: bool,
-    /// Give every rank a durable container file (`rank_<g>.store`)
-    /// under this directory and mirror each committed checkpoint into
-    /// it. Mirroring is cost-free in virtual time, so a store-attached
-    /// run's results are identical to the same run without one — but
-    /// its checkpoints survive the process and can be recovered from
-    /// the files alone (see [`crate::store::recover_store_dir`]).
-    pub store_dir: Option<PathBuf>,
-}
-
-impl ClusterConfig {
-    /// A small default cluster (the paper's 8 nodes x 12 cores is the
-    /// bench-scale setting; tests use fewer ranks).
-    pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
-        ClusterConfig {
-            nodes,
-            ranks_per_node,
-            container_bytes: 64 << 20,
-            engine: EngineConfig::builder()
-                .materialization(nvm_chkpt::Materialization::Synthetic)
-                .checksums(false)
-                .node_concurrency(ranks_per_node.max(1))
-                .build()
-                .expect("cluster engine config is valid"),
-            nvm_bw_per_core: None,
-            local_interval: Some(SimDuration::from_secs(40)),
-            remote: None,
-            iterations: 10,
-            failures: None,
-            failure_horizon: SimDuration::from_secs(86_400),
-            schedule_override: None,
-            threads: 1,
-            trace: false,
-            metrics: false,
-            store_dir: None,
-        }
-    }
-
-    /// Set the rank-execution worker-thread count (builder style).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
-    /// Enable or disable event-trace collection (builder style).
-    pub fn with_trace(mut self, trace: bool) -> Self {
-        self.trace = trace;
-        self
-    }
-
-    /// Enable or disable aggregate-metrics collection (builder style).
-    pub fn with_metrics(mut self, metrics: bool) -> Self {
-        self.metrics = metrics;
-        self
-    }
-
-    /// Attach per-rank durable container files under `dir` (builder
-    /// style).
-    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.store_dir = Some(dir.into());
-        self
-    }
-
-    /// Inject an explicit failure schedule instead of generating one
-    /// (builder style).
-    pub fn with_failure_schedule(mut self, schedule: FailureSchedule) -> Self {
-        self.schedule_override = Some(schedule);
-        self
-    }
-
-    /// The matching ideal (no checkpoint, no failure) configuration —
-    /// the denominator of the paper's efficiency metric.
-    pub fn ideal_variant(&self) -> Self {
-        let mut c = self.clone();
-        c.engine = c.engine.with_precopy(nvm_chkpt::PrecopyPolicy::None);
-        c.local_interval = None;
-        c.remote = None;
-        c.failures = None;
-        c.schedule_override = None;
-        c
-    }
-}
+pub use crate::config::{ClusterConfig, ConfigError, RemoteConfig};
 
 /// Errors from a simulation run.
 #[non_exhaustive]
 #[derive(Debug)]
 pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
     /// Engine-level failure.
     Engine(EngineError),
     /// Remote-store failure.
@@ -252,6 +99,7 @@ pub enum SimError {
 
 nvm_emu::error_enum! {
     SimError, f {
+        wrap Config(ConfigError) => "config",
         wrap Engine(EngineError) => "engine",
         wrap Remote(RemoteError) => "remote",
         leaf SimError::Unrecoverable { node, buddy, iteration } => write!(
@@ -299,13 +147,13 @@ pub struct RunResult {
     /// Checkpoint bytes per rank (`D`).
     pub checkpoint_bytes_per_rank: u64,
     /// Merged event trace in `(time, rank)` order; empty unless
-    /// [`ClusterConfig::trace`] is set.
+    /// [`RunOptions::trace`] is set.
     pub trace: Vec<TraceEvent>,
     /// Merged metrics report (raw snapshot + derived paper metrics);
-    /// `None` unless [`ClusterConfig::metrics`] is set.
+    /// `None` unless [`RunOptions::metrics`] is set.
     pub metrics: Option<MetricsReport>,
     /// Durable-store counters summed over every rank in rank order;
-    /// `None` unless [`ClusterConfig::store_dir`] is set.
+    /// `None` unless [`RunOptions::store_dir`] is set.
     pub store: Option<StoreStats>,
     /// One record per hard-failure node recovery, in handling order.
     pub recovery: Vec<RecoveryRecord>,
@@ -324,6 +172,172 @@ impl RunResult {
             .iter()
             .map(|t| t.peak_bytes())
             .fold(0.0, f64::max)
+    }
+}
+
+/// Per-run output selection: what a [`Cluster::run`] should collect
+/// alongside the simulation result. These knobs used to live on
+/// `ClusterConfig`; they moved here so one config describes the
+/// cluster's *shape* and can drive differently-instrumented runs —
+/// and so every instrumentation combination goes through the same
+/// single entry point instead of `run`/`run_profiled`/ad-hoc field
+/// twiddling.
+///
+/// Every option is result-preserving: tracing, metrics, store
+/// mirroring, and profiling each leave [`RunResult`] byte-identical
+/// to an uninstrumented run (modulo the fields they fill in), at any
+/// thread count.
+#[non_exhaustive]
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Collect a structured event trace. Each rank buffers its own
+    /// events; merge shards combine them in `(time, rank)` order into
+    /// [`RunResult::trace`], bit-identical for serial and
+    /// multi-threaded execution.
+    pub trace: bool,
+    /// Collect aggregate metrics. Each rank's engine records into a
+    /// private registry and each node's devices/helper into a
+    /// per-node registry (commutative updates only); shard merges
+    /// fold them — all updates commute, so the snapshot in
+    /// [`RunResult::metrics`] is bit-identical at any thread count.
+    pub metrics: bool,
+    /// Give every rank a durable container file (`rank_<g>.store`)
+    /// under this directory and mirror each committed checkpoint into
+    /// it. Mirroring is cost-free in virtual time, so a
+    /// store-attached run's results are identical to the same run
+    /// without one — but its checkpoints survive the process and can
+    /// be recovered from the files alone (see
+    /// [`Cluster::recover_dir`]).
+    pub store_dir: Option<PathBuf>,
+    /// Return the wall/CPU timing decomposition in
+    /// [`RunOutcome::profile`]. Timing travels *next to* the result,
+    /// never inside it — [`RunResult`] stays byte-identity-gated,
+    /// timing is not.
+    pub profile: bool,
+}
+
+impl RunOptions {
+    /// No instrumentation: result only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable or disable event-trace collection (builder style).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Enable or disable aggregate-metrics collection (builder style).
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Attach per-rank durable container files under `dir` (builder
+    /// style).
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable or disable run profiling (builder style).
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+}
+
+/// Where the run's device bytes actually lived: accounting for the
+/// per-device spill files a byte-materialized run pushes its images
+/// to (see [`ClusterConfig::spill`]). Reported next to the result —
+/// like timing, it describes the host-side execution, not the
+/// simulation, and must never enter the byte-identity-gated
+/// [`RunResult`].
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SpillReport {
+    /// Devices that spilled (one NVM + one DRAM device per node).
+    pub devices: usize,
+    /// Sum of each spill file's live-byte high-water mark — the RAM
+    /// an unspilled run would have held in `Vec<u8>` region backings
+    /// (devices hold their steady-state images concurrently, so the
+    /// per-device peaks effectively coincide).
+    pub peak_bytes: u64,
+    /// Bytes still live in spill files when the run ended.
+    pub live_bytes: u64,
+    /// Region bytes still resident in process RAM (materialized
+    /// regions allocated outside spill coverage; 0 when every
+    /// materialized region spilled).
+    pub resident_bytes: u64,
+}
+
+/// Everything a [`Cluster::run`] produces: the deterministic
+/// simulation [`RunResult`], plus host-side side channels that must
+/// stay out of it.
+#[non_exhaustive]
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The simulation result — byte-identical across thread counts.
+    pub result: RunResult,
+    /// Wall/CPU decomposition; `Some` iff [`RunOptions::profile`].
+    pub profile: Option<RunProfile>,
+    /// Spill-file accounting; `Some` iff the run spilled (see
+    /// [`ClusterConfig::spill`]).
+    pub spill: Option<SpillReport>,
+}
+
+/// The public entry point: a configured cluster plus the workload
+/// factory, run with composable [`RunOptions`].
+///
+/// ```
+/// use cluster_sim::{Cluster, ClusterConfig, RunOptions, UniformWorkload};
+/// use nvm_emu::SimDuration;
+///
+/// let config = ClusterConfig::builder()
+///     .nodes(2)
+///     .ranks_per_node(2)
+///     .iterations(4)
+///     .local_interval(Some(SimDuration::from_secs(5)))
+///     .build()
+///     .unwrap();
+/// let outcome = Cluster::new(config, |_g| {
+///     Box::new(UniformWorkload::new(2, 1 << 20, SimDuration::from_secs(2), 1 << 20))
+/// })
+/// .run(RunOptions::new().with_profile(true))
+/// .unwrap();
+/// assert_eq!(outcome.result.iterations_executed, 4);
+/// assert!(outcome.profile.is_some());
+/// ```
+pub struct Cluster {
+    config: ClusterConfig,
+    factory: Box<dyn FnMut(u64) -> Box<dyn Workload>>,
+}
+
+impl Cluster {
+    /// A cluster of `config`'s shape; `factory(global_rank)` creates
+    /// each rank's workload.
+    pub fn new(
+        config: ClusterConfig,
+        factory: impl FnMut(u64) -> Box<dyn Workload> + 'static,
+    ) -> Self {
+        Cluster {
+            config,
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Run to completion with the given output selection.
+    pub fn run(self, options: RunOptions) -> Result<RunOutcome, SimError> {
+        ClusterSim::with_options(self.config, options, self.factory)?.execute()
+    }
+
+    /// Scan `dir` for the `rank_<n>.store` container files a
+    /// store-attached run left behind and recover every rank's
+    /// container (sorted by rank). The files are the only input — this
+    /// is the offline half of [`RunOptions::store_dir`].
+    pub fn recover_dir(dir: impl AsRef<Path>) -> Result<Vec<RankRecovery>, PersistError> {
+        crate::store::scan_store_dir(dir.as_ref())
     }
 }
 
@@ -445,6 +459,7 @@ impl NodeDevices {
 /// The simulator.
 pub struct ClusterSim {
     config: ClusterConfig,
+    options: RunOptions,
     ranks: Vec<Vec<Rank>>, // [node][rank]
     nodes: Vec<NodeDevices>,
     stores: Vec<RemoteStore>, // stores[i] holds node i's data (on buddy NVM)
@@ -455,40 +470,69 @@ pub struct ClusterSim {
     drams: Vec<MemoryDevice>,
     /// Barrier synchronisations executed (coordinator-side counter).
     barriers: u64,
+    /// Owns the per-device spill files for the lifetime of the run;
+    /// `None` when the run is synthetic or spill is disabled.
+    spill_dir: Option<TempDir>,
 }
 
 impl ClusterSim {
     /// Build a cluster; `factory(global_rank)` creates each rank's
     /// workload.
+    #[deprecated(note = "use Cluster::new(config, factory).run(RunOptions)")]
     pub fn new(
         config: ClusterConfig,
+        factory: impl FnMut(u64) -> Box<dyn Workload>,
+    ) -> Result<Self, SimError> {
+        Self::with_options(config, RunOptions::default(), factory)
+    }
+
+    fn io_err(e: std::io::Error) -> SimError {
+        SimError::Engine(EngineError::from(PersistError::Io(e)))
+    }
+
+    pub(crate) fn with_options(
+        config: ClusterConfig,
+        options: RunOptions,
         mut factory: impl FnMut(u64) -> Box<dyn Workload>,
     ) -> Result<Self, SimError> {
-        assert!(config.nodes > 0 && config.ranks_per_node > 0);
-        let per_rank_nvm = config.container_bytes * 2 + (4 << 20);
-        let node_nvm_capacity = per_rank_nvm * config.ranks_per_node
-            + config.container_bytes * 2 * config.ranks_per_node; // headroom for buddy data
-        let node_dram_capacity = config.container_bytes * config.ranks_per_node + (64 << 20);
+        config.validate()?;
+
+        // Byte-materialized runs spill every device region to a file:
+        // region contents cost identical virtual time/wear/stats
+        // wherever they live, and at 1024 ranks the images no longer
+        // fit in process RAM. Attach before any engine allocates so
+        // every materialized region is covered.
+        let spill_dir = if config.spill && config.engine.materialization == Materialization::Bytes {
+            Some(TempDir::new("cluster-spill").map_err(Self::io_err)?)
+        } else {
+            None
+        };
 
         let mut nvms = Vec::new();
         let mut drams = Vec::new();
-        for _ in 0..config.nodes {
-            let nvm = MemoryDevice::pcm(node_nvm_capacity);
+        for n in 0..config.nodes {
+            let nvm = MemoryDevice::pcm(config.node_nvm_capacity(n));
             if let Some(bw) = config.nvm_bw_per_core {
                 nvm.set_model(BandwidthModel::fixed_per_core(bw));
             }
+            let dram = MemoryDevice::dram(config.node_dram_capacity(n));
+            if let Some(dir) = &spill_dir {
+                let f =
+                    FileSpill::create(&dir.join(format!("nvm_{n}.spill"))).map_err(Self::io_err)?;
+                nvm.attach_spill(Box::new(f));
+                let f = FileSpill::create(&dir.join(format!("dram_{n}.spill")))
+                    .map_err(Self::io_err)?;
+                dram.attach_spill(Box::new(f));
+            }
             nvms.push(nvm);
-            drams.push(MemoryDevice::dram(node_dram_capacity));
+            drams.push(dram);
         }
 
-        let link_bw = config
-            .remote
-            .map(|r| r.link_bandwidth)
-            .unwrap_or(rdma_sim::IB_40GBPS);
+        let link_bw = config.link_bandwidth();
         let helper_params = config.remote.map(|r| r.helper).unwrap_or_default();
 
-        if let Some(dir) = &config.store_dir {
-            std::fs::create_dir_all(dir).map_err(|e| EngineError::from(PersistError::Io(e)))?;
+        if let Some(dir) = &options.store_dir {
+            std::fs::create_dir_all(dir).map_err(Self::io_err)?;
         }
 
         let mut ranks = Vec::new();
@@ -496,7 +540,7 @@ impl ClusterSim {
         let mut stores = Vec::new();
         for n in 0..config.nodes {
             let mut node_ranks = Vec::new();
-            let node_metrics = if config.metrics {
+            let node_metrics = if options.metrics {
                 let m = Metrics::new();
                 // Devices are shared by this node's ranks; counter adds
                 // are commutative, so a shared registry stays
@@ -521,21 +565,21 @@ impl ClusterSim {
                 )?;
                 let mut workload = factory(global);
                 workload.setup(&mut engine)?;
-                let sink = if config.trace {
+                let sink = if options.trace {
                     let sink = Arc::new(BufferSink::new());
                     engine.set_tracer(Tracer::new(sink.clone()).with_rank(global));
                     Some(sink)
                 } else {
                     None
                 };
-                let metrics = if config.metrics {
+                let metrics = if options.metrics {
                     let m = Metrics::new();
                     engine.set_metrics(m.clone());
                     m
                 } else {
                     Metrics::disabled()
                 };
-                if let Some(dir) = &config.store_dir {
+                if let Some(dir) = &options.store_dir {
                     let path = dir.join(format!("rank_{global}.store"));
                     let mut store = FileStore::open_path(&path, global, config.container_bytes)
                         .map_err(EngineError::from)?;
@@ -560,7 +604,7 @@ impl ClusterSim {
                 flows: Vec::new(),
                 metrics: node_metrics,
             });
-            let buddy = (n + 1) % config.nodes;
+            let buddy = config.buddy_of(n);
             // Byte-materialized runs keep real chunk images in the
             // remote store, so a hard-failed node can be rebuilt from
             // its buddy bit-for-bit; synthetic runs keep the store
@@ -570,12 +614,14 @@ impl ClusterSim {
         }
         Ok(ClusterSim {
             config,
+            options,
             ranks,
             nodes,
             stores,
             nvms,
             drams,
             barriers: 0,
+            spill_dir,
         })
     }
 
@@ -598,15 +644,29 @@ impl ClusterSim {
     }
 
     /// Run to completion.
+    #[deprecated(note = "use Cluster::new(config, factory).run(RunOptions)")]
     pub fn run(self) -> Result<RunResult, SimError> {
-        self.run_profiled().map(|(result, _)| result)
+        self.execute().map(|outcome| outcome.result)
     }
 
     /// Run to completion, also returning the wall/CPU timing
-    /// decomposition. The [`RunProfile`] travels *next to* the result,
-    /// never inside it — [`RunResult`] stays byte-identical across
-    /// thread counts and machines, timing is neither.
+    /// decomposition.
+    #[deprecated(
+        note = "use Cluster::new(config, factory).run(RunOptions::new().with_profile(true))"
+    )]
     pub fn run_profiled(mut self) -> Result<(RunResult, RunProfile), SimError> {
+        self.options.profile = true;
+        self.execute().map(|outcome| {
+            let profile = outcome.profile.expect("profile was requested");
+            (outcome.result, profile)
+        })
+    }
+
+    /// The run loop. The [`RunProfile`] and [`SpillReport`] travel
+    /// *next to* the result, never inside it — [`RunResult`] stays
+    /// byte-identical across thread counts and machines; timing and
+    /// host-memory accounting are neither.
+    fn execute(mut self) -> Result<RunOutcome, SimError> {
         let wall_start = std::time::Instant::now();
         let total_ranks = self.config.nodes * self.config.ranks_per_node;
         let rank_busy: Vec<AtomicU64> = (0..total_ranks).map(|_| AtomicU64::new(0)).collect();
@@ -616,11 +676,11 @@ impl ClusterSim {
         // their own buffer and merge with the per-rank streams at the
         // end.
         let mut coord: Vec<TraceEvent> = Vec::new();
-        let tracing = self.config.trace;
+        let tracing = self.options.trace;
         // Coordinator-side metrics (comm stalls, barrier count, link
         // peaks) — recorded only from the serial coordinator loop, so
         // observation order is the same at any thread count.
-        let coord_metrics = if self.config.metrics {
+        let coord_metrics = if self.options.metrics {
             Metrics::new()
         } else {
             Metrics::disabled()
@@ -668,7 +728,7 @@ impl ClusterSim {
                     if ev.kind != FailureKind::Hard {
                         continue;
                     }
-                    let buddy = (ev.node + 1) % self.config.nodes;
+                    let buddy = self.config.buddy_of(ev.node);
                     if buddy != ev.node
                         && batch
                             .iter()
@@ -689,7 +749,7 @@ impl ClusterSim {
                     match ev.kind {
                         FailureKind::Soft => {
                             soft += 1;
-                            max_restart = max_restart.max(self.local_restart_cost());
+                            max_restart = max_restart.max(self.local_restart_cost(ev.node));
                             target = target.min(last_local_iter);
                         }
                         FailureKind::Hard => {
@@ -729,7 +789,7 @@ impl ClusterSim {
                     if tracing {
                         coord.push(TraceEvent {
                             t_ns: t0.as_nanos(),
-                            rank: (ev.node * self.config.ranks_per_node) as u64,
+                            rank: self.config.first_rank(ev.node),
                             kind: TraceEventKind::RankFailure {
                                 iteration: iter,
                                 hard: ev.kind == FailureKind::Hard,
@@ -899,7 +959,7 @@ impl ClusterSim {
                                 if tracing {
                                     coord.push(TraceEvent {
                                         t_ns: t1.as_nanos(),
-                                        rank: (n * self.config.ranks_per_node) as u64,
+                                        rank: self.config.first_rank(n),
                                         kind: TraceEventKind::RemoteTransfer {
                                             bytes: shipped,
                                             incremental: true,
@@ -937,7 +997,7 @@ impl ClusterSim {
                                 if tracing {
                                     coord.push(TraceEvent {
                                         t_ns: t1.as_nanos(),
-                                        rank: (n * self.config.ranks_per_node) as u64,
+                                        rank: self.config.first_rank(n),
                                         kind: TraceEventKind::RemoteTransfer {
                                             bytes: volume,
                                             incremental: false,
@@ -953,30 +1013,122 @@ impl ClusterSim {
         }
 
         let total_time = self.barrier().since(SimTime::ZERO);
-        let merged_trace = if tracing {
-            let mut buffers: Vec<Vec<TraceEvent>> = self
-                .ranks
+
+        // -- hierarchical end-of-run reduction ----------------------
+        // The coordinator used to fold every rank's trace buffer,
+        // engine stats, metrics registry, and store counters itself —
+        // an O(ranks) serial floor that dominates wall time at 1024
+        // ranks. Instead, contiguous node groups ("shards", a function
+        // of topology only — see `ClusterConfig::shard_count`) each
+        // reduce their own ranks, in parallel when `threads > 1`, and
+        // the coordinator folds O(shards) partial results:
+        //
+        // * traces — each shard emits its ranks' events merged in
+        //   `(time, rank)` order; the final fold re-sorts the
+        //   concatenated shard streams (plus the coordinator buffer,
+        //   appended last, as before) with the same stable key. Equal
+        //   keys always come from one rank's buffer — or that rank's
+        //   buffer plus the coordinator's — and both levels preserve
+        //   their relative order, so the result is byte-identical to
+        //   the flat merge at any shard or thread count.
+        // * stats/metrics/store counters — integer sums, gauge maxes
+        //   and histogram bucket adds all commute and associate, so
+        //   any merge tree yields the same totals; snapshots are
+        //   name-sorted, so the report is identical too.
+        let shards = self.config.shard_count();
+        let nodes_per_shard = self.config.nodes.div_ceil(shards);
+        struct ShardMerge {
+            trace: Vec<TraceEvent>,
+            engine_stats: EngineStats,
+            registry: Option<MetricsRegistry>,
+            store_stats: Option<StoreStats>,
+            busy_ns: u64,
+        }
+        let metrics_on = self.options.metrics;
+        let merge_shard = |shard_ranks: &mut [Vec<Rank>], shard_nodes: &[NodeDevices]| {
+            let t0 = thread_cpu_ns();
+            let trace = if tracing {
+                let buffers: Vec<Vec<TraceEvent>> = shard_ranks
+                    .iter()
+                    .flatten()
+                    .map(|r| r.sink.as_ref().map(|s| s.drain()).unwrap_or_default())
+                    .collect();
+                nvm_trace::merge_ranked(buffers)
+            } else {
+                Vec::new()
+            };
+            // `MergeStats` rides on the exhaustively-destructuring
+            // `AddAssign` impl, so adding a field to `EngineStats` is a
+            // compile error here rather than a silently-dropped
+            // statistic (the old hand-rolled summation lost
+            // `restarts`).
+            let rank_stats: Vec<EngineStats> = shard_ranks
                 .iter()
                 .flatten()
-                .map(|r| r.sink.as_ref().map(|s| s.drain()).unwrap_or_default())
+                .map(|r| r.engine.stats())
                 .collect();
-            buffers.push(coord);
-            nvm_trace::merge_ranked(buffers)
+            let engine_stats = EngineStats::merged(rank_stats.iter());
+            let registry = if metrics_on {
+                let mut reg = MetricsRegistry::new();
+                for r in shard_ranks.iter().flatten() {
+                    r.metrics.merge_into(&mut reg);
+                }
+                for n in shard_nodes {
+                    n.metrics.merge_into(&mut reg);
+                }
+                Some(reg)
+            } else {
+                None
+            };
+            let store_stats: Vec<StoreStats> = shard_ranks
+                .iter()
+                .flatten()
+                .filter_map(|r| r.engine.persistence_stats())
+                .collect();
+            let store_stats = if store_stats.is_empty() {
+                None
+            } else {
+                Some(StoreStats::merged(store_stats.iter()))
+            };
+            ShardMerge {
+                trace,
+                engine_stats,
+                registry,
+                store_stats,
+                busy_ns: thread_cpu_ns().saturating_sub(t0),
+            }
+        };
+        let shard_chunks = self
+            .ranks
+            .chunks_mut(nodes_per_shard)
+            .zip(self.nodes.chunks(nodes_per_shard));
+        let mut shard_results: Vec<ShardMerge> = if self.config.threads <= 1 || shards <= 1 {
+            shard_chunks.map(|(r, n)| merge_shard(r, n)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let merge_shard = &merge_shard;
+                let handles: Vec<_> = shard_chunks
+                    .map(|(r, n)| scope.spawn(move || merge_shard(r, n)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge worker panicked"))
+                    .collect()
+            })
+        };
+        let merge_busy_ns: Vec<u64> = shard_results.iter().map(|s| s.busy_ns).collect();
+
+        let merged_trace = if tracing {
+            let mut streams: Vec<Vec<TraceEvent>> = shard_results
+                .iter_mut()
+                .map(|s| std::mem::take(&mut s.trace))
+                .collect();
+            streams.push(coord);
+            nvm_trace::merge_ranked(streams)
         } else {
             Vec::new()
         };
-        // Merge per-rank stats in rank order. `MergeStats` rides on the
-        // exhaustively-destructuring `AddAssign` impl, so adding a field
-        // to `EngineStats` is a compile error here rather than a
-        // silently-dropped statistic (the old hand-rolled summation
-        // lost `restarts`).
-        let rank_stats: Vec<EngineStats> = self
-            .ranks
-            .iter()
-            .flatten()
-            .map(|r| r.engine.stats())
-            .collect();
-        let engine_stats = EngineStats::merged(rank_stats.iter());
+        let engine_stats = EngineStats::merged(shard_results.iter().map(|s| &s.engine_stats));
 
         coord_metrics.counter_add(names::CLUSTER_BARRIERS_TOTAL, self.barriers);
         for n in &self.nodes {
@@ -985,16 +1137,12 @@ impl ClusterSim {
                 n.link.trace().peak_bytes() as i64,
             );
         }
-        // Merge order is fixed — ranks in rank order, then nodes in node
-        // order, then the coordinator — so the report is bit-identical
-        // at any thread count.
-        let metrics = if self.config.metrics {
+        let metrics = if metrics_on {
             let mut reg = MetricsRegistry::new();
-            for r in self.ranks.iter().flatten() {
-                r.metrics.merge_into(&mut reg);
-            }
-            for n in &self.nodes {
-                n.metrics.merge_into(&mut reg);
+            for s in &shard_results {
+                if let Some(partial) = &s.registry {
+                    reg.merge_from(partial);
+                }
             }
             coord_metrics.merge_into(&mut reg);
             Some(MetricsReport::new(reg.snapshot()))
@@ -1002,18 +1150,16 @@ impl ClusterSim {
             None
         };
 
-        // Store counters, summed in rank order (None when no store is
-        // attached — so results without `--store` serialize unchanged).
-        let store_stats: Vec<StoreStats> = self
-            .ranks
+        // Store counters (None when no store is attached — so results
+        // without `--store` serialize unchanged).
+        let store_partials: Vec<&StoreStats> = shard_results
             .iter()
-            .flatten()
-            .filter_map(|r| r.engine.persistence_stats())
+            .filter_map(|s| s.store_stats.as_ref())
             .collect();
-        let store = if store_stats.is_empty() {
+        let store = if store_partials.is_empty() {
             None
         } else {
-            Some(StoreStats::merged(store_stats.iter()))
+            Some(StoreStats::merged(store_partials))
         };
 
         let result = RunResult {
@@ -1040,12 +1186,38 @@ impl ClusterSim {
             store,
             recovery: recovery_records,
         };
-        let profile = RunProfile {
+        let profile = self.options.profile.then(|| RunProfile {
             wall_ns: wall_start.elapsed().as_nanos() as u64,
             rank_busy_ns: rank_busy.into_iter().map(|c| c.into_inner()).collect(),
+            merge_busy_ns,
             threads: self.config.threads,
-        };
-        Ok((result, profile))
+        });
+        let spill = self.spill_dir.as_ref().map(|_| SpillReport {
+            devices: self.nvms.len() + self.drams.len(),
+            peak_bytes: self
+                .nvms
+                .iter()
+                .chain(&self.drams)
+                .map(|d| d.spill_peak_bytes())
+                .sum(),
+            live_bytes: self
+                .nvms
+                .iter()
+                .chain(&self.drams)
+                .map(|d| d.spill_live_bytes())
+                .sum(),
+            resident_bytes: self
+                .nvms
+                .iter()
+                .chain(&self.drams)
+                .map(|d| d.resident_bytes())
+                .sum(),
+        });
+        Ok(RunOutcome {
+            result,
+            profile,
+            spill,
+        })
     }
 
     /// Bit-for-bit verification of freshly restored ranks against the
@@ -1181,8 +1353,8 @@ impl ClusterSim {
         coord: &mut Vec<TraceEvent>,
         coord_metrics: &Metrics,
     ) {
-        if self.config.trace {
-            let rank0 = (record.node * self.config.ranks_per_node) as u64;
+        if self.options.trace {
+            let rank0 = self.config.first_rank(record.node);
             coord.push(TraceEvent {
                 t_ns: t0.as_nanos(),
                 rank: rank0,
@@ -1236,8 +1408,8 @@ impl ClusterSim {
             remote_ckpts,
             d_per_rank,
         } = progress;
-        let rpn = self.config.ranks_per_node;
-        let tracing = self.config.trace;
+        let rpn = self.config.node_rank_count(node);
+        let tracing = self.options.trace;
         let t0 = self.ranks[node][0].clock.now();
 
         if self.config.engine.materialization == Materialization::Synthetic {
@@ -1250,7 +1422,7 @@ impl ClusterSim {
                 retries: 0,
                 verified_chunks: 0,
                 reprotected_bytes: 0,
-                duration: self.remote_restart_cost(d_per_rank),
+                duration: self.remote_restart_cost(node, d_per_rank),
                 chunks: Vec::new(),
             };
             self.note_recovery(&record, t0, coord, coord_metrics);
@@ -1260,7 +1432,7 @@ impl ClusterSim {
         // The node is gone: wipe its devices. This also destroys the
         // remote copy it hosted for its ring neighbour `hosted`, which
         // is re-replicated at the end.
-        let hosted = (node + self.config.nodes - 1) % self.config.nodes;
+        let hosted = self.config.hosted_by(node);
         self.nvms[node].destroy();
         self.drams[node].destroy();
         self.stores[hosted] = RemoteStore::new(&self.nvms[node], true);
@@ -1275,7 +1447,7 @@ impl ClusterSim {
         let mut max_install = SimDuration::ZERO;
 
         let local_dir = self
-            .config
+            .options
             .store_dir
             .clone()
             .filter(|dir| Self::probe_local_store(dir, node, rpn));
@@ -1315,7 +1487,7 @@ impl ClusterSim {
             // any committed image actually came back.
             let mut images_per_rank: Vec<Vec<RemoteImage>> = Vec::new();
             if remote_ckpts > 0 && self.config.nodes > 1 {
-                let host = (node + 1) % self.config.nodes;
+                let host = self.config.buddy_of(node);
                 let policy = RetryPolicy::default();
                 // ~2% per-attempt loss: a fabric draining a dead node
                 // is not the happy path. Deterministic (pure hash of
@@ -1444,7 +1616,7 @@ impl ClusterSim {
         // durable container along with the node: reformat it so the
         // revived process keeps mirroring checkpoints.
         if source != RecoverySource::LocalStore {
-            if let Some(dir) = self.config.store_dir.clone() {
+            if let Some(dir) = self.options.store_dir.clone() {
                 for rank in self.ranks[node].iter_mut() {
                     let path = dir.join(format!("rank_{}.store", rank.global));
                     let _ = std::fs::remove_file(&path);
@@ -1490,7 +1662,7 @@ impl ClusterSim {
             }
         }
 
-        if self.config.store_dir.is_some() && source != RecoverySource::LocalStore {
+        if self.options.store_dir.is_some() && source != RecoverySource::LocalStore {
             coord_metrics.counter_add(names::RECOVERY_FALLBACK_REMOTE_TOTAL, 1);
         }
 
@@ -1510,28 +1682,26 @@ impl ClusterSim {
         Ok(record)
     }
 
-    /// Local restart cost: metadata load + reading `D` back from NVM at
-    /// the contended per-core read bandwidth (all ranks restart at
-    /// once).
-    fn local_restart_cost(&self) -> SimDuration {
+    /// Local restart cost on `node`: metadata load + reading `D` back
+    /// from NVM at the contended per-core read bandwidth (all of the
+    /// node's ranks restart at once).
+    fn local_restart_cost(&self, node: usize) -> SimDuration {
         let d = self.ranks[0][0].engine.checkpoint_bytes() as u64;
         let nvm = self.ranks[0][0].engine.heap().nvm();
-        let bw = nvm.per_core_bandwidth(self.config.ranks_per_node, 32 << 20);
+        let bw = nvm.per_core_bandwidth(self.config.node_rank_count(node), 32 << 20);
         let params = nvm.params();
         let read_bw = bw * (params.read_bandwidth / params.write_bandwidth);
         SimDuration::for_transfer(d, read_bw.max(1.0)) + SimDuration::from_millis(5)
     }
 
-    /// Remote restart cost: the whole node's checkpoint crosses the
-    /// interconnect from the buddy, then loads into memory.
-    fn remote_restart_cost(&self, d_per_rank: u64) -> SimDuration {
-        let node_bytes = d_per_rank * self.config.ranks_per_node as u64;
-        let link_bw = self
-            .config
-            .remote
-            .map(|r| r.link_bandwidth)
-            .unwrap_or(rdma_sim::IB_40GBPS);
-        SimDuration::for_transfer(node_bytes, link_bw) + self.local_restart_cost()
+    /// Remote restart cost for `node`: its whole checkpoint footprint
+    /// crosses the interconnect from the buddy, then loads into memory.
+    /// Both the byte count and the link speed come from the topology
+    /// helpers so non-uniform shapes stay honest in one place.
+    fn remote_restart_cost(&self, node: usize, d_per_rank: u64) -> SimDuration {
+        let node_bytes = d_per_rank * self.config.node_rank_count(node) as u64;
+        SimDuration::for_transfer(node_bytes, self.config.link_bandwidth())
+            + self.local_restart_cost(node)
     }
 }
 
@@ -1553,6 +1723,7 @@ struct CkptProgress {
 mod tests {
     use super::*;
     use crate::app::UniformWorkload;
+    use crate::failure::FailureConfig;
     use nvm_chkpt::PrecopyPolicy;
 
     const MB: usize = 1 << 20;
@@ -1574,10 +1745,19 @@ mod tests {
         ))
     }
 
+    fn run_cfg(cfg: ClusterConfig) -> Result<RunResult, SimError> {
+        Cluster::new(cfg, factory)
+            .run(RunOptions::new())
+            .map(|o| o.result)
+    }
+
+    fn run_opts(cfg: ClusterConfig, opts: RunOptions) -> RunResult {
+        Cluster::new(cfg, factory).run(opts).unwrap().result
+    }
+
     #[test]
     fn basic_run_completes_with_checkpoints() {
-        let sim = ClusterSim::new(small_config(), factory).unwrap();
-        let r = sim.run().unwrap();
+        let r = run_cfg(small_config()).unwrap();
         assert_eq!(r.iterations_executed, 8);
         assert!(r.local_checkpoints >= 2, "got {}", r.local_checkpoints);
         assert!(r.total_time > SimDuration::from_secs(16));
@@ -1588,14 +1768,8 @@ mod tests {
     #[test]
     fn ideal_variant_is_faster_than_checkpointed() {
         let cfg = small_config();
-        let actual = ClusterSim::new(cfg.clone(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
-        let ideal = ClusterSim::new(cfg.ideal_variant(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let actual = run_cfg(cfg.clone()).unwrap();
+        let ideal = run_cfg(cfg.ideal_variant()).unwrap();
         assert_eq!(ideal.local_checkpoints, 0);
         assert!(ideal.total_time < actual.total_time);
         let eff = actual.efficiency_vs(&ideal);
@@ -1608,8 +1782,8 @@ mod tests {
         pre.engine = pre.engine.with_precopy(PrecopyPolicy::Dcpcp);
         let mut nopre = small_config();
         nopre.engine = nopre.engine.with_precopy(PrecopyPolicy::None);
-        let r_pre = ClusterSim::new(pre, factory).unwrap().run().unwrap();
-        let r_no = ClusterSim::new(nopre, factory).unwrap().run().unwrap();
+        let r_pre = run_cfg(pre).unwrap();
+        let r_no = run_cfg(nopre).unwrap();
         assert!(
             r_pre.total_time < r_no.total_time,
             "precopy {} vs none {}",
@@ -1640,8 +1814,14 @@ mod tests {
         nopre.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), false));
         nopre.engine = nopre.engine.with_precopy(PrecopyPolicy::None);
 
-        let r_pre = ClusterSim::new(pre, big_factory).unwrap().run().unwrap();
-        let r_no = ClusterSim::new(nopre, big_factory).unwrap().run().unwrap();
+        let r_pre = Cluster::new(pre, big_factory)
+            .run(RunOptions::new())
+            .unwrap()
+            .result;
+        let r_no = Cluster::new(nopre, big_factory)
+            .run(RunOptions::new())
+            .unwrap()
+            .result;
         assert!(r_pre.remote_checkpoints >= 1);
         assert!(r_no.remote_checkpoints >= 1);
         let peak_pre = r_pre.peak_link_bytes();
@@ -1654,8 +1834,7 @@ mod tests {
 
     #[test]
     fn schedule_shape_matches_figure_1() {
-        let sim = ClusterSim::new(small_config(), factory).unwrap();
-        let r = sim.run().unwrap();
+        let r = run_cfg(small_config()).unwrap();
         let seq = r.schedule.sequence();
         // Compute and LocalCheckpoint must alternate somewhere.
         let has_c_then_l = seq
@@ -1677,31 +1856,22 @@ mod tests {
             mtbf_hard: SimDuration::from_secs(1_000_000),
         });
         cfg.failure_horizon = SimDuration::from_secs(300);
-        let r = ClusterSim::new(cfg.clone(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let r = run_cfg(cfg.clone()).unwrap();
         assert!(r.soft_failures > 0, "expected soft failures");
         assert_eq!(r.hard_failures, 0);
         assert!(r.schedule.total(Activity::Restart) > SimDuration::ZERO);
         // Failures make the run slower than a failure-free one.
         let mut clean = cfg;
         clean.failures = None;
-        let r_clean = ClusterSim::new(clean, factory).unwrap().run().unwrap();
+        let r_clean = run_cfg(clean).unwrap();
         assert!(r.total_time > r_clean.total_time);
         assert!(r.iterations_executed >= r_clean.iterations_executed);
     }
 
     #[test]
     fn parallel_run_bit_identical_to_serial() {
-        let serial = ClusterSim::new(small_config(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
-        let parallel = ClusterSim::new(small_config().with_threads(3), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let serial = run_cfg(small_config()).unwrap();
+        let parallel = run_cfg(small_config().with_threads(3)).unwrap();
         assert_eq!(
             serde_json::to_string(&serial).unwrap(),
             serde_json::to_string(&parallel).unwrap()
@@ -1742,9 +1912,8 @@ mod tests {
                 global: g,
             })
         };
-        let err = ClusterSim::new(small_config().with_threads(4), make)
-            .unwrap()
-            .run()
+        let err = Cluster::new(small_config().with_threads(4), make)
+            .run(RunOptions::new())
             .unwrap_err();
         // Ranks 2 and 3 both fail; the executor must report the lowest.
         assert!(
@@ -1758,9 +1927,9 @@ mod tests {
 
     #[test]
     fn traced_run_collects_merged_events() {
-        let mut cfg = small_config().with_trace(true);
+        let mut cfg = small_config();
         cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
-        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let r = run_opts(cfg, RunOptions::new().with_trace(true));
         assert!(!r.trace.is_empty());
         assert!(
             r.trace
@@ -1772,25 +1941,16 @@ mod tests {
         assert!(summary.coordinated >= r.local_checkpoints);
         assert!(summary.remote_transfers >= r.remote_checkpoints);
         // Untraced runs keep the field empty.
-        let quiet = ClusterSim::new(small_config(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let quiet = run_cfg(small_config()).unwrap();
         assert!(quiet.trace.is_empty());
     }
 
     #[test]
     fn trace_bit_identical_serial_vs_parallel() {
-        let mut cfg = small_config().with_trace(true);
+        let mut cfg = small_config();
         cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
-        let serial = ClusterSim::new(cfg.clone(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
-        let parallel = ClusterSim::new(cfg.with_threads(4), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let serial = run_opts(cfg.clone(), RunOptions::new().with_trace(true));
+        let parallel = run_opts(cfg.with_threads(4), RunOptions::new().with_trace(true));
         assert!(!serial.trace.is_empty());
         assert_eq!(
             nvm_trace::to_jsonl(&serial.trace),
@@ -1800,15 +1960,9 @@ mod tests {
 
     #[test]
     fn metrics_disabled_by_default_and_parity() {
-        let plain = ClusterSim::new(small_config(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let plain = run_cfg(small_config()).unwrap();
         assert!(plain.metrics.is_none());
-        let metered = ClusterSim::new(small_config().with_metrics(true), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let metered = run_opts(small_config(), RunOptions::new().with_metrics(true));
         // Metering must not perturb the simulation itself.
         assert_eq!(plain.total_time, metered.total_time);
         assert_eq!(plain.engine_stats, metered.engine_stats);
@@ -1816,16 +1970,10 @@ mod tests {
 
     #[test]
     fn metrics_bit_identical_serial_vs_parallel() {
-        let mut cfg = small_config().with_metrics(true);
+        let mut cfg = small_config();
         cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
-        let serial = ClusterSim::new(cfg.clone(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
-        let parallel = ClusterSim::new(cfg.with_threads(4), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let serial = run_opts(cfg.clone(), RunOptions::new().with_metrics(true));
+        let parallel = run_opts(cfg.with_threads(4), RunOptions::new().with_metrics(true));
         let a = serde_json::to_string(&serial.metrics.unwrap()).unwrap();
         let b = serde_json::to_string(&parallel.metrics.unwrap()).unwrap();
         assert_eq!(a, b);
@@ -1833,9 +1981,9 @@ mod tests {
 
     #[test]
     fn metrics_agree_with_merged_stats() {
-        let mut cfg = small_config().with_metrics(true);
+        let mut cfg = small_config();
         cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
-        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let r = run_opts(cfg, RunOptions::new().with_metrics(true));
         let snap = &r.metrics.as_ref().unwrap().snapshot;
         let es = &r.engine_stats;
         assert_eq!(snap.counter(names::CHKPT_CHECKPOINTS_TOTAL), es.checkpoints);
@@ -1873,8 +2021,8 @@ mod tests {
         let mut nopre = pre.clone();
         nopre.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), false));
         nopre.engine = nopre.engine.with_precopy(PrecopyPolicy::None);
-        let r_pre = ClusterSim::new(pre, factory).unwrap().run().unwrap();
-        let r_no = ClusterSim::new(nopre, factory).unwrap().run().unwrap();
+        let r_pre = run_cfg(pre).unwrap();
+        let r_no = run_cfg(nopre).unwrap();
         let u_pre = r_pre.helper_utilization[0];
         let u_no = r_no.helper_utilization[0];
         assert!(
@@ -1939,8 +2087,8 @@ mod tests {
             FailureKind::Hard,
             0,
         )]));
-        let r_multi = ClusterSim::new(multi, factory).unwrap().run().unwrap();
-        let r_single = ClusterSim::new(single, factory).unwrap().run().unwrap();
+        let r_multi = run_cfg(multi).unwrap();
+        let r_single = run_cfg(single).unwrap();
         assert_eq!(r_multi.hard_failures, 1);
         assert_eq!(r_multi.soft_failures, 0, "soft events must be absorbed");
         assert_eq!(
@@ -1966,10 +2114,7 @@ mod tests {
         ]));
         let mut seen = Vec::new();
         for threads in [1, 4] {
-            let err = ClusterSim::new(cfg.clone().with_threads(threads), factory)
-                .unwrap()
-                .run()
-                .unwrap_err();
+            let err = run_cfg(cfg.clone().with_threads(threads)).unwrap_err();
             match err {
                 SimError::Unrecoverable {
                     node,
@@ -1996,11 +2141,68 @@ mod tests {
             event(10, FailureKind::Hard, 0),
             event(10, FailureKind::Soft, 1),
         ]));
-        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let r = run_cfg(cfg).unwrap();
         assert_eq!(r.hard_failures, 1);
         assert_eq!(r.soft_failures, 1);
         assert_eq!(r.recovery.len(), 1);
         assert_eq!(r.recovery[0].source, RecoverySource::Modeled);
         assert_eq!(r.iterations_executed, 10 + r.lost_iterations);
+    }
+
+    #[test]
+    fn shard_plan_does_not_change_results() {
+        // The hierarchical merge must be invisible: one shard, the
+        // automatic plan, and one-shard-per-node all produce the same
+        // bytes for result, trace, and metrics at any thread count.
+        let mut base = small_config().with_threads(4);
+        base.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+        let opts = RunOptions::new().with_trace(true).with_metrics(true);
+        let mut golden: Option<(String, String)> = None;
+        for shards in [Some(1), None, Some(2)] {
+            let mut cfg = base.clone();
+            cfg.shards = shards;
+            let r = run_opts(cfg, opts.clone());
+            let trace = nvm_trace::to_jsonl(&r.trace);
+            let all = serde_json::to_string(&r).unwrap();
+            match &golden {
+                None => golden = Some((trace, all)),
+                Some((t, a)) => {
+                    assert_eq!(t, &trace, "trace differs at shards={shards:?}");
+                    assert_eq!(a, &all, "result differs at shards={shards:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_reports_merge_work_and_synthetic_runs_do_not_spill() {
+        let out = Cluster::new(small_config().with_threads(2), factory)
+            .run(RunOptions::new().with_profile(true))
+            .unwrap();
+        let p = out.profile.expect("profile requested");
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.rank_busy_ns.len(), 4);
+        assert_eq!(p.merge_busy_ns.len(), small_config().shard_count());
+        // Synthetic materialization has no byte images to spill.
+        assert!(out.spill.is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_still_run_and_agree_with_the_new_surface() {
+        let old = ClusterSim::new(small_config(), factory)
+            .unwrap()
+            .run()
+            .unwrap();
+        let new = run_cfg(small_config()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&old).unwrap(),
+            serde_json::to_string(&new).unwrap()
+        );
+        let (_, profile) = ClusterSim::new(small_config(), factory)
+            .unwrap()
+            .run_profiled()
+            .unwrap();
+        assert_eq!(profile.threads, 1);
     }
 }

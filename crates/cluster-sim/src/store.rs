@@ -1,10 +1,11 @@
 //! Cluster-level durable-store recovery.
 //!
-//! A store-attached run ([`crate::run::ClusterConfig::store_dir`])
+//! A store-attached run ([`crate::run::RunOptions::store_dir`])
 //! leaves one container file per rank — `rank_<global>.store` — and
 //! those files are the *only* thing a recovery needs: this module
 //! scans a store directory, recovers every rank's container, and
-//! reports what each one holds. A dead rank is revived by handing its
+//! reports what each one holds ([`crate::run::Cluster::recover_dir`]
+//! is the public entry point). A dead rank is revived by handing its
 //! file to [`CheckpointEngine::restart_from_store`] in a brand-new
 //! process (see the tests below, which kill a rank after a run and
 //! rebuild it from the directory alone).
@@ -31,7 +32,12 @@ pub struct RankRecovery {
 /// return the recoveries sorted by rank. Files that do not match the
 /// naming scheme are ignored; a matching file that fails to open or
 /// whose superblock names a different process is an error.
+#[deprecated(note = "use Cluster::recover_dir")]
 pub fn recover_store_dir(dir: &Path) -> Result<Vec<RankRecovery>, PersistError> {
+    scan_store_dir(dir)
+}
+
+pub(crate) fn scan_store_dir(dir: &Path) -> Result<Vec<RankRecovery>, PersistError> {
     let mut found: Vec<(u64, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir).map_err(PersistError::Io)? {
         let entry = entry.map_err(PersistError::Io)?;
@@ -74,7 +80,7 @@ pub fn recover_store_dir(dir: &Path) -> Result<Vec<RankRecovery>, PersistError> 
 mod tests {
     use super::*;
     use crate::app::Workload;
-    use crate::run::{ClusterConfig, ClusterSim};
+    use crate::run::{Cluster, ClusterConfig, RunOptions, RunOutcome};
     use nvm_chkpt::{
         CheckpointEngine, EngineConfig, EngineError, Materialization, RestartStrategy, Tracer,
     };
@@ -149,17 +155,20 @@ mod tests {
         })
     }
 
+    fn run_with(cfg: ClusterConfig, opts: RunOptions) -> RunOutcome {
+        Cluster::new(cfg, factory).run(opts).unwrap()
+    }
+
     #[test]
     fn store_attached_run_leaves_recoverable_containers() {
         let tmp = TempDir::new("cluster-store").unwrap();
-        let config = store_config().with_store_dir(tmp.path());
-        let result = ClusterSim::new(config, factory).unwrap().run().unwrap();
+        let result = run_with(store_config(), RunOptions::new().with_store_dir(tmp.path())).result;
         assert!(result.local_checkpoints > 0);
         let stats = result.store.expect("store stats present");
         assert_eq!(stats.commits, 4 * result.local_checkpoints);
         assert!(stats.bytes_written > 0 && stats.fsyncs > 0);
 
-        let recoveries = recover_store_dir(tmp.path()).unwrap();
+        let recoveries = Cluster::recover_dir(tmp.path()).unwrap();
         assert_eq!(recoveries.len(), 4);
         for (i, rec) in recoveries.iter().enumerate() {
             assert_eq!(rec.global, i as u64);
@@ -172,13 +181,12 @@ mod tests {
     #[test]
     fn killed_rank_recovers_from_the_store_directory_alone() {
         let tmp = TempDir::new("cluster-kill").unwrap();
-        let config = store_config().with_store_dir(tmp.path());
-        let result = ClusterSim::new(config, factory).unwrap().run().unwrap();
+        let result = run_with(store_config(), RunOptions::new().with_store_dir(tmp.path())).result;
         assert!(result.local_checkpoints > 0);
         // The whole cluster is gone now (run() consumed it); the only
         // survivors are the files under `tmp`.
 
-        let recoveries = recover_store_dir(tmp.path()).unwrap();
+        let recoveries = Cluster::recover_dir(tmp.path()).unwrap();
         let victim = &recoveries[2]; // rank 2: second node's first rank
         let store = FileStore::open_existing(&victim.path).unwrap();
         let dram = MemoryDevice::dram(64 * MB);
@@ -215,10 +223,14 @@ mod tests {
         let tmp = TempDir::new("cluster-store-det").unwrap();
         let serial_dir = tmp.join("serial");
         let threaded_dir = tmp.join("threaded");
-        let serial = store_config().with_store_dir(&serial_dir);
-        let threaded = store_config().with_store_dir(&threaded_dir).with_threads(4);
-        ClusterSim::new(serial, factory).unwrap().run().unwrap();
-        ClusterSim::new(threaded, factory).unwrap().run().unwrap();
+        run_with(
+            store_config(),
+            RunOptions::new().with_store_dir(&serial_dir),
+        );
+        run_with(
+            store_config().with_threads(4),
+            RunOptions::new().with_store_dir(&threaded_dir),
+        );
         for g in 0..4 {
             let a = std::fs::read(serial_dir.join(format!("rank_{g}.store"))).unwrap();
             let b = std::fs::read(threaded_dir.join(format!("rank_{g}.store"))).unwrap();
@@ -229,14 +241,9 @@ mod tests {
     #[test]
     fn attaching_stores_does_not_perturb_the_run() {
         let tmp = TempDir::new("cluster-store-inert").unwrap();
-        let plain = ClusterSim::new(store_config(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
-        let mut stored = ClusterSim::new(store_config().with_store_dir(tmp.path()), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let plain = run_with(store_config(), RunOptions::new()).result;
+        let mut stored =
+            run_with(store_config(), RunOptions::new().with_store_dir(tmp.path())).result;
         assert!(stored.store.is_some());
         stored.store = None; // the only field allowed to differ
         assert_eq!(
@@ -244,6 +251,41 @@ mod tests {
             serde_json::to_string(&stored).unwrap(),
             "store mirroring must be invisible to simulation results"
         );
+    }
+
+    #[test]
+    fn spilling_images_to_files_does_not_perturb_the_run() {
+        // `store_config` materializes real bytes, so spill is active by
+        // default. Turning it off must change *only* where the bytes
+        // live — the result (including engine stats, wear, and the
+        // virtual clock) stays byte-identical.
+        let spilled = run_with(store_config(), RunOptions::new());
+        let mut in_ram = store_config();
+        in_ram.spill = false;
+        let unspilled = run_with(in_ram, RunOptions::new());
+        assert_eq!(
+            serde_json::to_string(&spilled.result).unwrap(),
+            serde_json::to_string(&unspilled.result).unwrap(),
+            "spilling must be invisible to simulation results"
+        );
+
+        let report = spilled.spill.expect("byte runs spill by default");
+        assert!(unspilled.spill.is_none());
+        // 2 nodes x (NVM + DRAM).
+        assert_eq!(report.devices, 4);
+        // Every rank holds two version slots of 2x96 KiB on NVM plus a
+        // DRAM working copy, and each node hosts its buddy's images —
+        // all of it must live in the spill files, none in RAM.
+        assert!(
+            report.peak_bytes >= 4 * 2 * (CHUNKS * CHUNK_BYTES) as u64,
+            "peak {} too small",
+            report.peak_bytes
+        );
+        assert_eq!(
+            report.resident_bytes, 0,
+            "no materialized region may stay RAM-resident"
+        );
+        assert!(report.live_bytes > 0 && report.live_bytes <= report.peak_bytes);
     }
 
     // ---- byte-level hard-failure recovery --------------------------
@@ -286,7 +328,7 @@ mod tests {
         // of both ranks must come back over the interconnect and match
         // the workload's deterministic pattern exactly.
         let cfg = recovery_config(false).with_failure_schedule(hard_at(100, 1));
-        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let r = run_with(cfg, RunOptions::new()).result;
         assert_eq!(r.hard_failures, 1);
         assert_eq!(r.recovery.len(), 1);
         let rec = &r.recovery[0];
@@ -332,7 +374,7 @@ mod tests {
         // restore the last *committed* epoch — the staged partial
         // epoch is never fetched.
         let cfg = recovery_config(true).with_failure_schedule(hard_at(100, 1));
-        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let r = run_with(cfg, RunOptions::new()).result;
         let rec = &r.recovery[0];
         assert_eq!(rec.source, RecoverySource::RemoteBuddy);
         let restored = rec.remote_epoch.expect("a remote epoch existed");
@@ -353,7 +395,7 @@ mod tests {
         // That is a restart from scratch, not a panic and not an
         // unrecoverable error.
         let cfg = recovery_config(false).with_failure_schedule(hard_at(10, 1));
-        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let r = run_with(cfg, RunOptions::new()).result;
         let rec = &r.recovery[0];
         assert_eq!(rec.source, RecoverySource::Virgin);
         assert_eq!(rec.remote_epoch, None);
@@ -373,17 +415,9 @@ mod tests {
         // ~48 s) is empty — commit runs before shipping — so the
         // store-less baseline can only restart virgin. With containers,
         // rung 1 rolls back merely to the last local checkpoint.
-        let cfg = recovery_config(false)
-            .with_store_dir(tmp.path())
-            .with_failure_schedule(hard_at(80, 1));
-        let remote = ClusterSim::new(
-            recovery_config(false).with_failure_schedule(hard_at(80, 1)),
-            factory,
-        )
-        .unwrap()
-        .run()
-        .unwrap();
-        let local = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let cfg = recovery_config(false).with_failure_schedule(hard_at(80, 1));
+        let remote = run_with(cfg.clone(), RunOptions::new()).result;
+        let local = run_with(cfg, RunOptions::new().with_store_dir(tmp.path())).result;
         // The committed-but-empty first remote epoch is not a usable
         // restore point: the baseline walked down to virgin.
         assert_eq!(remote.recovery[0].source, RecoverySource::Virgin);
@@ -398,7 +432,7 @@ mod tests {
         );
         // The revived ranks keep mirroring: the directory is still
         // fully recoverable after the run.
-        let recoveries = recover_store_dir(tmp.path()).unwrap();
+        let recoveries = Cluster::recover_dir(tmp.path()).unwrap();
         assert_eq!(recoveries.len(), 4);
     }
 
@@ -409,11 +443,14 @@ mod tests {
         // the fallback counter fires, and recovery walks down to the
         // virgin rung (no remote epoch exists that early either).
         let tmp = TempDir::new("recovery-fallback").unwrap();
-        let cfg = recovery_config(false)
-            .with_store_dir(tmp.path())
-            .with_metrics(true)
-            .with_failure_schedule(hard_at(10, 1));
-        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let cfg = recovery_config(false).with_failure_schedule(hard_at(10, 1));
+        let r = run_with(
+            cfg,
+            RunOptions::new()
+                .with_store_dir(tmp.path())
+                .with_metrics(true),
+        )
+        .result;
         assert_eq!(r.recovery[0].source, RecoverySource::Virgin);
         let snap = &r.metrics.as_ref().unwrap().snapshot;
         assert_eq!(snap.counter(nvm_metrics::names::RECOVERY_HARD_TOTAL), 1);
@@ -428,17 +465,9 @@ mod tests {
         // The whole hard-failure path — fetch order, retry charges,
         // re-protection, rollback — runs on the coordinator, so a
         // threaded run must produce a byte-identical RunResult.
-        let cfg = recovery_config(true)
-            .with_trace(true)
-            .with_failure_schedule(hard_at(100, 1));
-        let serial = ClusterSim::new(cfg.clone(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
-        let threaded = ClusterSim::new(cfg.with_threads(4), factory)
-            .unwrap()
-            .run()
-            .unwrap();
+        let cfg = recovery_config(true).with_failure_schedule(hard_at(100, 1));
+        let serial = run_with(cfg.clone(), RunOptions::new().with_trace(true)).result;
+        let threaded = run_with(cfg.with_threads(4), RunOptions::new().with_trace(true)).result;
         assert_eq!(serial.recovery[0].source, RecoverySource::RemoteBuddy);
         assert_eq!(
             serde_json::to_string(&serial).unwrap(),
@@ -448,10 +477,8 @@ mod tests {
 
     #[test]
     fn recovery_events_appear_in_the_trace() {
-        let cfg = recovery_config(false)
-            .with_trace(true)
-            .with_failure_schedule(hard_at(100, 1));
-        let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        let cfg = recovery_config(false).with_failure_schedule(hard_at(100, 1));
+        let r = run_with(cfg, RunOptions::new().with_trace(true)).result;
         let summary = nvm_trace::summarize(&r.trace);
         assert_eq!(summary.recoveries, 1);
         let starts: Vec<_> = r
@@ -474,6 +501,10 @@ mod tests {
             let mut store = FileStore::open_path(&tmp.join("rank_9.store"), 3, MB).unwrap();
             store.commit(0).unwrap();
         }
+        let err = Cluster::recover_dir(tmp.path()).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
+        // The deprecated free function still routes to the same scan.
+        #[allow(deprecated)]
         let err = recover_store_dir(tmp.path()).unwrap_err();
         assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
     }

@@ -23,6 +23,7 @@ use crate::bandwidth::BandwidthModel;
 use crate::energy::EnergyMeter;
 use crate::error::DeviceError;
 use crate::params::{DeviceKind, DeviceParams};
+use crate::spill::SpillStore;
 use crate::time::{SimDuration, VirtualClock};
 use crate::wearmap::WearMap;
 use crate::{pages_for, PAGE_SIZE};
@@ -66,6 +67,12 @@ pub struct DeviceStats {
 /// Backing storage of a region.
 enum Backing {
     Bytes(Vec<u8>),
+    /// Materialized, but the bytes live in the attached [`SpillStore`]
+    /// instead of process RAM. Behaves exactly like `Bytes` through the
+    /// public API (reads, snapshots, checksums all see real data).
+    Spilled {
+        slot: u64,
+    },
     Synthetic,
 }
 
@@ -136,6 +143,19 @@ struct Inner {
     tracer: Option<DeviceTracer>,
     /// Optional charge metrics; `None` (the default) costs one branch.
     metrics: Option<DeviceMetrics>,
+    /// Optional spill backing: when present, materialized regions
+    /// allocated afterwards keep their bytes here instead of in RAM.
+    spill: Option<Box<dyn SpillStore>>,
+}
+
+/// Borrow only the `spill` field mutably (keeps borrows of other
+/// `Inner` fields, like a looked-up region, alive across the call).
+macro_rules! spill_of {
+    ($g:expr) => {
+        $g.spill
+            .as_deref_mut()
+            .expect("spilled region exists without a spill store")
+    };
 }
 
 /// An emulated DRAM or NVM device. Cloning yields another handle to the
@@ -170,6 +190,7 @@ impl MemoryDevice {
                 strict_endurance: false,
                 tracer: None,
                 metrics: None,
+                spill: None,
             })),
         }
     }
@@ -276,6 +297,49 @@ impl MemoryDevice {
         self.inner.lock().stats
     }
 
+    /// Attach a spill store: materialized regions allocated from now on
+    /// keep their bytes in `store` instead of process RAM. Costs, wear,
+    /// statistics, and metrics are charged by the exact same code as
+    /// RAM-backed regions, so simulation results are unaffected —
+    /// only the process's resident set shrinks. Regions allocated
+    /// before the attach keep their RAM backing.
+    pub fn attach_spill(&self, store: Box<dyn SpillStore>) {
+        self.inner.lock().spill = Some(store);
+    }
+
+    /// Bytes currently held in the attached spill store (0 without one).
+    pub fn spill_live_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .spill
+            .as_ref()
+            .map_or(0, |s| s.live_bytes())
+    }
+
+    /// High-water mark of spilled bytes over the device's lifetime —
+    /// the RAM an unspilled device would have needed for the same
+    /// regions at their peak (0 without a spill store).
+    pub fn spill_peak_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .spill
+            .as_ref()
+            .map_or(0, |s| s.peak_bytes())
+    }
+
+    /// Bytes of materialized region content resident in process RAM
+    /// (spilled and synthetic regions contribute nothing).
+    pub fn resident_bytes(&self) -> u64 {
+        let g = self.inner.lock();
+        g.regions
+            .values()
+            .map(|r| match &r.backing {
+                Backing::Bytes(b) => b.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Allocate a materialized (zero-filled) region of `len` bytes.
     pub fn alloc(&self, len: usize) -> Result<RegionId, DeviceError> {
         self.alloc_inner(len, true)
@@ -295,14 +359,22 @@ impl MemoryDevice {
                 available,
             });
         }
-        let id = RegionId(g.next_id);
-        g.next_id += 1;
-        g.used += len;
         let backing = if materialized {
-            Backing::Bytes(vec![0u8; len])
+            match g.spill.as_deref_mut() {
+                Some(spill) => {
+                    let slot = spill
+                        .alloc(len)
+                        .map_err(|e| DeviceError::Spill(e.to_string()))?;
+                    Backing::Spilled { slot }
+                }
+                None => Backing::Bytes(vec![0u8; len]),
+            }
         } else {
             Backing::Synthetic
         };
+        let id = RegionId(g.next_id);
+        g.next_id += 1;
+        g.used += len;
         g.regions.insert(
             id,
             Region {
@@ -322,6 +394,9 @@ impl MemoryDevice {
             .remove(&id)
             .ok_or(DeviceError::NoSuchRegion(id.0))?;
         g.used -= region.len;
+        if let Backing::Spilled { slot } = region.backing {
+            spill_of!(g).free(slot, region.len);
+        }
         Ok(())
     }
 
@@ -339,7 +414,7 @@ impl MemoryDevice {
         let g = self.inner.lock();
         g.regions
             .get(&id)
-            .map(|r| matches!(r.backing, Backing::Bytes(_)))
+            .map(|r| !matches!(r.backing, Backing::Synthetic))
             .ok_or(DeviceError::NoSuchRegion(id.0))
     }
 
@@ -353,10 +428,20 @@ impl MemoryDevice {
         concurrency: usize,
     ) -> Result<SimDuration, DeviceError> {
         let mut g = self.inner.lock();
+        let g = &mut *g;
         let cost = g.write_common(id, offset, data.len(), concurrency)?;
         let region = g.regions.get_mut(&id).expect("checked by write_common");
-        if let Backing::Bytes(bytes) = &mut region.backing {
-            bytes[offset..offset + data.len()].copy_from_slice(data);
+        match &mut region.backing {
+            Backing::Bytes(bytes) => {
+                bytes[offset..offset + data.len()].copy_from_slice(data);
+            }
+            Backing::Spilled { slot } => {
+                let slot = *slot;
+                spill_of!(g)
+                    .write(slot, offset, data)
+                    .map_err(|e| DeviceError::Spill(e.to_string()))?;
+            }
+            Backing::Synthetic => {}
         }
         Ok(cost)
     }
@@ -385,12 +470,19 @@ impl MemoryDevice {
         concurrency: usize,
     ) -> Result<SimDuration, DeviceError> {
         let mut g = self.inner.lock();
+        let g = &mut *g;
         let region = g.regions.get(&id).ok_or(DeviceError::NoSuchRegion(id.0))?;
         region.check_bounds(id, offset, buf.len())?;
         match &region.backing {
             Backing::Synthetic => return Err(DeviceError::SyntheticAccess(id.0)),
             Backing::Bytes(bytes) => {
                 buf.copy_from_slice(&bytes[offset..offset + buf.len()]);
+            }
+            Backing::Spilled { slot } => {
+                let slot = *slot;
+                spill_of!(g)
+                    .read(slot, offset, buf)
+                    .map_err(|e| DeviceError::Spill(e.to_string()))?;
             }
         }
         Ok(g.charge_read(buf.len(), concurrency))
@@ -423,6 +515,7 @@ impl MemoryDevice {
         data: &[u8],
     ) -> Result<(), DeviceError> {
         let mut g = self.inner.lock();
+        let g = &mut *g;
         let region = g.regions.get(&id).ok_or(DeviceError::NoSuchRegion(id.0))?;
         region.check_bounds(id, offset, data.len())?;
         let region = g.regions.get_mut(&id).expect("checked above");
@@ -431,16 +524,31 @@ impl MemoryDevice {
                 bytes[offset..offset + data.len()].copy_from_slice(data);
                 Ok(())
             }
+            Backing::Spilled { slot } => {
+                let slot = *slot;
+                spill_of!(g)
+                    .write(slot, offset, data)
+                    .map_err(|e| DeviceError::Spill(e.to_string()))
+            }
             Backing::Synthetic => Err(DeviceError::SyntheticAccess(id.0)),
         }
     }
 
     /// Copy of a materialized region's bytes (for checksumming/restart).
     pub fn snapshot(&self, id: RegionId) -> Result<Vec<u8>, DeviceError> {
-        let g = self.inner.lock();
+        let mut g = self.inner.lock();
+        let g = &mut *g;
         let region = g.regions.get(&id).ok_or(DeviceError::NoSuchRegion(id.0))?;
         match &region.backing {
             Backing::Bytes(bytes) => Ok(bytes.clone()),
+            Backing::Spilled { slot } => {
+                let (slot, len) = (*slot, region.len);
+                let mut buf = vec![0u8; len];
+                spill_of!(g)
+                    .read(slot, 0, &mut buf)
+                    .map_err(|e| DeviceError::Spill(e.to_string()))?;
+                Ok(buf)
+            }
             Backing::Synthetic => Err(DeviceError::SyntheticAccess(id.0)),
         }
     }
@@ -483,7 +591,12 @@ impl MemoryDevice {
     /// Destroy all contents (hard failure: the node's NVM is lost).
     pub fn destroy(&self) {
         let mut g = self.inner.lock();
-        g.regions.clear();
+        let g = &mut *g;
+        for (_, region) in g.regions.drain() {
+            if let Backing::Spilled { slot } = region.backing {
+                spill_of!(g).free(slot, region.len);
+            }
+        }
         g.used = 0;
     }
 
@@ -844,6 +957,67 @@ mod tests {
             m.registry().snapshot().counter("dev_pcm_write_bytes_total"),
             after
         );
+    }
+
+    #[test]
+    fn spilled_regions_behave_like_ram_backed_at_identical_cost() {
+        use crate::spill::MemSpill;
+        let plain = MemoryDevice::pcm(MB);
+        let spilly = MemoryDevice::pcm(MB);
+        spilly.attach_spill(Box::new(MemSpill::new()));
+
+        let rp = plain.alloc(4096).unwrap();
+        let rs = spilly.alloc(4096).unwrap();
+        assert!(spilly.is_materialized(rs).unwrap());
+        assert_eq!(spilly.resident_bytes(), 0, "bytes live in the spill store");
+        assert_eq!(spilly.spill_live_bytes(), 4096);
+
+        // Fresh regions read back zeros either way.
+        assert_eq!(spilly.snapshot(rs).unwrap(), vec![0u8; 4096]);
+
+        // Identical virtual-time charges, stats, and wear for the same
+        // operation sequence — spilling must not perturb the model.
+        let data: Vec<u8> = (0..4096).map(|i| (i % 253) as u8).collect();
+        let wp = plain.write(rp, 128, &data[..1024], 2).unwrap();
+        let ws = spilly.write(rs, 128, &data[..1024], 2).unwrap();
+        assert_eq!(wp, ws);
+        let mut bp = vec![0u8; 1024];
+        let mut bs = vec![0u8; 1024];
+        let rp_cost = plain.read(rp, 128, &mut bp, 2).unwrap();
+        let rs_cost = spilly.read(rs, 128, &mut bs, 2).unwrap();
+        assert_eq!(rp_cost, rs_cost);
+        assert_eq!(bp, bs);
+        assert_eq!(bs, data[..1024]);
+        assert_eq!(plain.stats(), spilly.stats());
+        assert_eq!(plain.max_wear(rp).unwrap(), spilly.max_wear(rs).unwrap());
+
+        // restore_bytes and snapshot round-trip through the spill.
+        spilly.restore_bytes(rs, 0, &data).unwrap();
+        assert_eq!(spilly.snapshot(rs).unwrap(), data);
+
+        // free and destroy release spill slots.
+        let extra = spilly.alloc(512).unwrap();
+        assert_eq!(spilly.spill_live_bytes(), 4096 + 512);
+        spilly.free(extra).unwrap();
+        assert_eq!(spilly.spill_live_bytes(), 4096);
+        spilly.destroy();
+        assert_eq!(spilly.spill_live_bytes(), 0);
+        assert_eq!(spilly.spill_peak_bytes(), 4096 + 512, "peak survives");
+    }
+
+    #[test]
+    fn attach_spill_leaves_existing_regions_resident() {
+        use crate::spill::MemSpill;
+        let d = MemoryDevice::dram(MB);
+        let before = d.alloc(256).unwrap();
+        d.attach_spill(Box::new(MemSpill::new()));
+        let after = d.alloc(256).unwrap();
+        d.write(before, 0, &[1; 256], 1).unwrap();
+        d.write(after, 0, &[2; 256], 1).unwrap();
+        assert_eq!(d.resident_bytes(), 256);
+        assert_eq!(d.spill_live_bytes(), 256);
+        assert_eq!(d.snapshot(before).unwrap(), vec![1u8; 256]);
+        assert_eq!(d.snapshot(after).unwrap(), vec![2u8; 256]);
     }
 
     #[test]

@@ -104,6 +104,10 @@ pub enum DeviceError {
         /// The device's endurance limit.
         limit: u64,
     },
+    /// The attached spill store failed an I/O operation (message from
+    /// the underlying `io::Error`; kept as a string so the variant
+    /// stays `Clone + PartialEq` like the rest of the enum).
+    Spill(String),
 }
 
 crate::error_enum! {
@@ -124,6 +128,7 @@ crate::error_enum! {
             f,
             "endurance exceeded on region {region}: {writes} writes > limit {limit}"
         ),
+        leaf DeviceError::Spill(msg) => write!(f, "spill store I/O failed: {msg}"),
     }
 }
 

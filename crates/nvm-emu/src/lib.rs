@@ -49,6 +49,7 @@ pub mod device;
 pub mod energy;
 pub mod error;
 pub mod params;
+pub mod spill;
 pub mod tempdir;
 pub mod time;
 pub mod wear;
@@ -58,6 +59,7 @@ pub use bandwidth::BandwidthModel;
 pub use device::{DeviceStats, MemoryDevice, RegionId};
 pub use error::DeviceError;
 pub use params::{DeviceKind, DeviceParams};
+pub use spill::{MemSpill, SpillStore};
 pub use tempdir::TempDir;
 pub use time::{SimDuration, SimTime, VirtualClock};
 pub use wear::StartGap;

@@ -46,6 +46,7 @@ pub mod container;
 pub mod crashsim;
 pub mod format;
 pub mod media;
+pub mod spill;
 
 pub use container::{Container, FileStore};
 pub use crashsim::{
@@ -53,6 +54,7 @@ pub use crashsim::{
     surviving_image, CommitMark, CrashMode, CrashPoint, CrashRun, OpRecord, RecordingMedia,
 };
 pub use media::{FileMedia, Media, MemMedia};
+pub use spill::FileSpill;
 
 // Re-export the trait surface so store users rarely need nvm-chkpt
 // directly.

@@ -1,0 +1,191 @@
+//! File-backed spill store for emulated memory devices.
+//!
+//! [`FileSpill`] implements [`nvm_emu::SpillStore`] over the same
+//! [`Media`] layer the crash-consistent container uses, so a
+//! byte-materialized cluster run can push every checkpoint image —
+//! a rank's two NVM version slots, its DRAM working copy, and the
+//! buddy-hosted remote images — out of process RAM and onto one spill
+//! file per device. Spilling changes *where bytes live*, never what
+//! the simulation computes: the device charges identical virtual
+//! time, wear, stats, and metrics either way (see
+//! [`nvm_emu::spill`]).
+//!
+//! Unlike the container, a spill file needs no crash consistency (it
+//! models *volatile-until-shipped* emulator state, and is recreated on
+//! every run), so the layout is the simplest thing that supports
+//! random access: slots are byte extents handed out first-fit from a
+//! free list, with the slot id being the extent's file offset. Frees
+//! recycle extents of the same size exactly — the device's allocation
+//! pattern (fixed-size version slots, re-put chunk images) makes
+//! first-fit reuse effectively fragmentation-free.
+
+use crate::media::{FileMedia, Media};
+use std::io;
+use std::path::Path;
+
+/// Extent-allocated spill file. See the module docs; construct with
+/// [`FileSpill::create`] and hand it to
+/// [`nvm_emu::MemoryDevice::attach_spill`].
+pub struct FileSpill {
+    media: FileMedia,
+    /// Free extents as `(offset, len)`, most recently freed last.
+    free: Vec<(u64, u64)>,
+    /// File length high-water mark (next fresh extent starts here).
+    end: u64,
+    live: u64,
+    peak: u64,
+}
+
+impl FileSpill {
+    /// Create (truncating any previous content logically — stale
+    /// extents are simply never handed out again) a spill file at
+    /// `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let media = FileMedia::open(path).map_err(io_err)?;
+        Ok(FileSpill {
+            media,
+            free: Vec::new(),
+            end: 0,
+            live: 0,
+            peak: 0,
+        })
+    }
+
+    /// Bytes the file has grown to (live + free extents).
+    pub fn file_bytes(&self) -> u64 {
+        self.end
+    }
+}
+
+fn io_err(e: crate::PersistError) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+impl nvm_emu::SpillStore for FileSpill {
+    fn alloc(&mut self, len: usize) -> io::Result<u64> {
+        let want = len as u64;
+        // First-fit over the free list; split when the extent is
+        // larger. Reused extents must be re-zeroed (a fresh region
+        // reads back zeros); fresh extents past EOF read back zeros
+        // already via the short-read path.
+        let offset = match self.free.iter().position(|&(_, flen)| flen >= want) {
+            Some(i) => {
+                let (off, flen) = self.free[i];
+                if flen == want {
+                    self.free.swap_remove(i);
+                } else {
+                    self.free[i] = (off + want, flen - want);
+                }
+                if len > 0 {
+                    self.media.write_at(off, &vec![0u8; len]).map_err(io_err)?;
+                }
+                off
+            }
+            None => {
+                let off = self.end;
+                self.end += want;
+                off
+            }
+        };
+        self.live += want;
+        self.peak = self.peak.max(self.live);
+        Ok(offset)
+    }
+
+    fn write(&mut self, slot: u64, offset: usize, data: &[u8]) -> io::Result<()> {
+        self.media
+            .write_at(slot + offset as u64, data)
+            .map_err(io_err)
+    }
+
+    fn read(&mut self, slot: u64, offset: usize, buf: &mut [u8]) -> io::Result<()> {
+        let got = self
+            .media
+            .read_at(slot + offset as u64, buf)
+            .map_err(io_err)?;
+        // Never-written tail of a fresh extent: logically zero.
+        buf[got..].fill(0);
+        Ok(())
+    }
+
+    fn free(&mut self, slot: u64, len: usize) {
+        self.live -= len as u64;
+        self.free.push((slot, len as u64));
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.live
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_emu::{MemoryDevice, SpillStore};
+
+    #[test]
+    fn file_spill_round_trips_and_recycles_extents() {
+        let td = nvm_emu::TempDir::new("nvm_store_spill_test").unwrap();
+        let mut s = FileSpill::create(&td.join("dev.spill")).unwrap();
+        let a = s.alloc(64).unwrap();
+        let b = s.alloc(32).unwrap();
+        assert_eq!(s.live_bytes(), 96);
+        let mut buf = vec![0xAAu8; 64];
+        s.read(a, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; 64], "fresh extents read as zeros");
+        s.write(a, 8, &[7; 16]).unwrap();
+        s.read(a, 0, &mut buf).unwrap();
+        assert_eq!(&buf[8..24], &[7u8; 16]);
+        assert_eq!(&buf[..8], &[0u8; 8]);
+
+        // Free `a`, allocate the same size: the extent is reused and
+        // reads back zeros again.
+        s.free(a, 64);
+        let c = s.alloc(64).unwrap();
+        assert_eq!(c, a, "same-size extent recycled first-fit");
+        s.read(c, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; 64], "recycled extents are re-zeroed");
+        assert_eq!(s.live_bytes(), 96);
+        assert_eq!(s.peak_bytes(), 96);
+        // b's content was untouched by the recycling.
+        let mut bb = vec![0u8; 32];
+        s.read(b, 0, &mut bb).unwrap();
+        assert_eq!(bb, vec![0u8; 32]);
+        assert_eq!(s.file_bytes(), 96, "no growth after reuse");
+    }
+
+    #[test]
+    fn split_extents_serve_smaller_allocations() {
+        let td = nvm_emu::TempDir::new("nvm_store_spill_split").unwrap();
+        let mut s = FileSpill::create(&td.join("dev.spill")).unwrap();
+        let a = s.alloc(100).unwrap();
+        s.free(a, 100);
+        let b = s.alloc(40).unwrap();
+        let c = s.alloc(60).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(c, a + 40);
+        assert_eq!(s.file_bytes(), 100);
+    }
+
+    #[test]
+    fn device_attached_file_spill_matches_ram_backing() {
+        let td = nvm_emu::TempDir::new("nvm_store_spill_dev").unwrap();
+        let plain = MemoryDevice::pcm(1 << 20);
+        let spilly = MemoryDevice::pcm(1 << 20);
+        spilly.attach_spill(Box::new(FileSpill::create(&td.join("pcm.spill")).unwrap()));
+        let rp = plain.alloc(8192).unwrap();
+        let rs = spilly.alloc(8192).unwrap();
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        let cp = plain.write(rp, 0, &data, 3).unwrap();
+        let cs = spilly.write(rs, 0, &data, 3).unwrap();
+        assert_eq!(cp, cs, "spilling must not change modeled cost");
+        assert_eq!(plain.snapshot(rp).unwrap(), spilly.snapshot(rs).unwrap());
+        assert_eq!(plain.stats(), spilly.stats());
+        assert_eq!(spilly.resident_bytes(), 0);
+        assert_eq!(spilly.spill_live_bytes(), 8192);
+    }
+}

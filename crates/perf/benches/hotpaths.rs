@@ -11,7 +11,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use nvm_chkpt::PrecopyPolicy;
 use nvm_perf::{
     buddy_store, calibration_spin, epoch_engine, epoch_step, fold_metrics, merge_traces,
-    run_tiny_cluster, touched_rank_metrics, trace_buffers,
+    merge_traces_sharded, run_tiny_cluster, touched_rank_metrics, trace_buffers,
 };
 
 fn bench_calibration(c: &mut Criterion) {
@@ -52,6 +52,14 @@ fn bench_merges(c: &mut Criterion) {
     g.throughput(Throughput::Elements(48));
     g.bench_function("metrics_fold_48", |b| {
         b.iter(|| black_box(fold_metrics(black_box(&ranks))))
+    });
+    // The rank-scaling merge plan: 1024 per-rank buffers folded
+    // through 32 shards (ceil(sqrt(1024))) — the coordinator cost
+    // that must stay O(shards) as rank counts grow.
+    let wide = trace_buffers(1024, 16);
+    g.throughput(Throughput::Elements(1024 * 16));
+    g.bench_function("trace_merge_sharded_1024x16", |b| {
+        b.iter(|| black_box(merge_traces_sharded(black_box(wide.clone()), 32)))
     });
     g.finish();
 }

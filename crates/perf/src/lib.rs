@@ -19,7 +19,7 @@
 
 #![warn(missing_docs)]
 
-use cluster_sim::{ClusterConfig, ClusterSim, RunResult};
+use cluster_sim::{Cluster, ClusterConfig, RunOptions, RunResult};
 use hpc_workloads::SyntheticApp;
 use nvm_chkpt::{CheckpointEngine, ChunkId, EngineConfig, Materialization, PrecopyPolicy};
 use nvm_emu::{MemoryDevice, SimDuration, VirtualClock};
@@ -83,12 +83,12 @@ pub fn tiny_cluster_config() -> ClusterConfig {
 /// Build and run the tiny cluster serially (what one `b.iter` of the
 /// `cluster/rank_simulate_loop` benchmark measures).
 pub fn run_tiny_cluster() -> RunResult {
-    ClusterSim::new(tiny_cluster_config(), |_| {
+    Cluster::new(tiny_cluster_config(), |_| {
         Box::new(SyntheticApp::lammps_scaled(0.01).with_compute(SimDuration::from_millis(500)))
     })
-    .expect("cluster setup")
-    .run()
+    .run(RunOptions::new())
     .expect("cluster run")
+    .result
 }
 
 /// Per-rank trace buffers shaped like a paper-preset run: `ranks`
@@ -110,6 +110,25 @@ pub fn trace_buffers(ranks: usize, per_rank: usize) -> Vec<Vec<TraceEvent>> {
 /// Merge per-rank buffers the way the coordinator does.
 pub fn merge_traces(buffers: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
     merge_ranked(buffers)
+}
+
+/// Merge per-rank buffers hierarchically: contiguous shard-local
+/// merges first, then a global fold of the shard results — the
+/// coordinator's plan at scale, where the serial floor is O(shards)
+/// pre-merged buffers instead of O(ranks). Byte-identical to
+/// [`merge_traces`] on the same input.
+pub fn merge_traces_sharded(buffers: Vec<Vec<TraceEvent>>, shards: usize) -> Vec<TraceEvent> {
+    let per_shard = buffers.len().div_ceil(shards.max(1));
+    let mut shard_results = Vec::with_capacity(shards);
+    let mut it = buffers.into_iter();
+    loop {
+        let chunk: Vec<Vec<TraceEvent>> = it.by_ref().take(per_shard).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        shard_results.push(merge_ranked(chunk));
+    }
+    merge_ranked(shard_results)
 }
 
 /// Per-rank metrics registries with the hot counters/histograms
@@ -195,6 +214,19 @@ mod tests {
         assert!(merged
             .windows(2)
             .all(|w| (w[0].t_ns, w[0].rank) <= (w[1].t_ns, w[1].rank)));
+    }
+
+    #[test]
+    fn sharded_merge_matches_flat_merge() {
+        let buffers = trace_buffers(64, 16);
+        let flat = merge_traces(buffers.clone());
+        for shards in [1, 7, 8, 64] {
+            assert_eq!(
+                merge_traces_sharded(buffers.clone(), shards),
+                flat,
+                "{shards}-shard merge diverged from the flat merge"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run --release -p nvm-chkpt-examples --bin gtc_multilevel
 //! ```
 
-use cluster_sim::{ClusterConfig, ClusterSim, FailureConfig, RemoteConfig, Workload};
+use cluster_sim::{Cluster, ClusterConfig, FailureConfig, RemoteConfig, RunOptions, Workload};
 use hpc_workloads::SyntheticApp;
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
@@ -28,14 +28,17 @@ fn main() {
     });
     cfg.failure_horizon = SimDuration::from_secs(3600);
 
-    let factory = |_rank: u64| -> Box<dyn Workload> {
+    let factory = move |_rank: u64| -> Box<dyn Workload> {
         Box::new(SyntheticApp::gtc_scaled(scale).with_compute(SimDuration::from_secs(5)))
     };
-    let ideal = ClusterSim::new(cfg.ideal_variant(), factory)
+    let ideal = Cluster::new(cfg.ideal_variant(), factory)
+        .run(RunOptions::new())
         .unwrap()
-        .run()
-        .unwrap();
-    let result = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+        .result;
+    let result = Cluster::new(cfg, factory)
+        .run(RunOptions::new())
+        .unwrap()
+        .result;
 
     println!("GTC multilevel checkpointing on 2x4 ranks");
     println!("  ideal time (no ckpt, no failures): {}", ideal.total_time);

@@ -6,7 +6,7 @@
 //! cargo run --release -p nvm-chkpt-examples --bin remote_precopy
 //! ```
 
-use cluster_sim::{ClusterConfig, ClusterSim, RemoteConfig, RunResult, Workload};
+use cluster_sim::{Cluster, ClusterConfig, RemoteConfig, RunOptions, RunResult, Workload};
 use hpc_workloads::SyntheticApp;
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
@@ -30,7 +30,10 @@ fn run(precopy: bool) -> RunResult {
     let factory = |_rank: u64| -> Box<dyn Workload> {
         Box::new(SyntheticApp::lammps().with_compute(SimDuration::from_secs(10)))
     };
-    ClusterSim::new(cfg, factory).unwrap().run().unwrap()
+    Cluster::new(cfg, factory)
+        .run(RunOptions::new())
+        .unwrap()
+        .result
 }
 
 fn main() {

@@ -5,7 +5,7 @@
 //! claim — who wins, in which direction — must hold. Paper-scale runs
 //! live in the `nvm-bench` binaries; EXPERIMENTS.md records both.
 
-use cluster_sim::{ClusterConfig, ClusterSim, RemoteConfig, Workload};
+use cluster_sim::{Cluster, ClusterConfig, RemoteConfig, RunOptions, RunResult, Workload};
 use hpc_workloads::madbench::{run_madbench, MadBenchConfig};
 use hpc_workloads::SyntheticApp;
 use nvm_chkpt::PrecopyPolicy;
@@ -21,6 +21,16 @@ fn config(policy: PrecopyPolicy) -> ClusterConfig {
     c.local_interval = Some(SimDuration::from_secs(10));
     c.iterations = 12;
     c
+}
+
+fn run_cluster(
+    cfg: ClusterConfig,
+    factory: impl FnMut(u64) -> Box<dyn Workload> + 'static,
+) -> RunResult {
+    Cluster::new(cfg, factory)
+        .run(RunOptions::new())
+        .expect("cluster run")
+        .result
 }
 
 fn app(name: &'static str) -> impl FnMut(u64) -> Box<dyn Workload> {
@@ -55,18 +65,9 @@ fn claim_ramdisk_is_much_slower_than_memory() {
 #[test]
 fn claim_precopy_halves_local_overhead() {
     let factory = app("lammps");
-    let ideal = ClusterSim::new(config(PrecopyPolicy::None).ideal_variant(), factory)
-        .unwrap()
-        .run()
-        .unwrap();
-    let pre = ClusterSim::new(config(PrecopyPolicy::Dcpcp), app("lammps"))
-        .unwrap()
-        .run()
-        .unwrap();
-    let nopre = ClusterSim::new(config(PrecopyPolicy::None), app("lammps"))
-        .unwrap()
-        .run()
-        .unwrap();
+    let ideal = run_cluster(config(PrecopyPolicy::None).ideal_variant(), factory);
+    let pre = run_cluster(config(PrecopyPolicy::Dcpcp), app("lammps"));
+    let nopre = run_cluster(config(PrecopyPolicy::None), app("lammps"));
     let ideal_s = ideal.total_time.as_secs_f64();
     let ovh_pre = pre.total_time.as_secs_f64() / ideal_s - 1.0;
     let ovh_no = nopre.total_time.as_secs_f64() / ideal_s - 1.0;
@@ -80,14 +81,8 @@ fn claim_precopy_halves_local_overhead() {
 /// than the no-pre-copy baseline (init-only arrays skipped).
 #[test]
 fn claim_gtc_checkpoints_less_data_with_tracking() {
-    let pre = ClusterSim::new(config(PrecopyPolicy::Dcpcp), app("gtc"))
-        .unwrap()
-        .run()
-        .unwrap();
-    let nopre = ClusterSim::new(config(PrecopyPolicy::None), app("gtc"))
-        .unwrap()
-        .run()
-        .unwrap();
+    let pre = run_cluster(config(PrecopyPolicy::Dcpcp), app("gtc"));
+    let nopre = run_cluster(config(PrecopyPolicy::None), app("gtc"));
     assert!(pre.engine_stats.skipped_bytes > 0);
     assert!(
         pre.engine_stats.total_copied_bytes() < nopre.engine_stats.total_copied_bytes(),
@@ -121,14 +116,8 @@ fn claim_cm1_benefits_least() {
         }
     };
     let benefit = |name: &'static str| {
-        let pre = ClusterSim::new(full_config(PrecopyPolicy::Dcpcp), full_app(name))
-            .unwrap()
-            .run()
-            .unwrap();
-        let nopre = ClusterSim::new(full_config(PrecopyPolicy::None), full_app(name))
-            .unwrap()
-            .run()
-            .unwrap();
+        let pre = run_cluster(full_config(PrecopyPolicy::Dcpcp), full_app(name));
+        let nopre = run_cluster(full_config(PrecopyPolicy::None), full_app(name));
         1.0 - pre.total_time.as_secs_f64() / nopre.total_time.as_secs_f64()
     };
     let lammps = benefit("lammps");
@@ -162,14 +151,8 @@ fn claim_remote_precopy_cuts_peak_and_runtime() {
         Box::new(SyntheticApp::gtc().with_compute(SimDuration::from_secs(10)))
     };
 
-    let pre = ClusterSim::new(full_config(PrecopyPolicy::Dcpcp, true), full_app)
-        .unwrap()
-        .run()
-        .unwrap();
-    let burst = ClusterSim::new(full_config(PrecopyPolicy::None, false), full_app)
-        .unwrap()
-        .run()
-        .unwrap();
+    let pre = run_cluster(full_config(PrecopyPolicy::Dcpcp, true), full_app);
+    let burst = run_cluster(full_config(PrecopyPolicy::None, false), full_app);
     assert!(pre.remote_checkpoints >= 1 && burst.remote_checkpoints >= 1);
     assert!(
         pre.peak_link_bytes() < burst.peak_link_bytes(),
@@ -191,11 +174,8 @@ fn claim_helper_utilization_doubles_but_stays_small() {
     burst_cfg.iterations = 16;
     burst_cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(20), false));
 
-    let pre = ClusterSim::new(pre_cfg, app("gtc")).unwrap().run().unwrap();
-    let burst = ClusterSim::new(burst_cfg, app("gtc"))
-        .unwrap()
-        .run()
-        .unwrap();
+    let pre = run_cluster(pre_cfg, app("gtc"));
+    let burst = run_cluster(burst_cfg, app("gtc"));
     let u_pre = pre.helper_utilization[0];
     let u_burst = burst.helper_utilization[0];
     assert!(u_pre > u_burst, "{u_pre} vs {u_burst}");
@@ -210,7 +190,7 @@ fn claim_chunk_protection_avoids_fault_storm() {
     let run = |g: Granularity| {
         let mut cfg = config(PrecopyPolicy::Cpc);
         cfg.engine = cfg.engine.with_granularity(g);
-        ClusterSim::new(cfg, app("lammps")).unwrap().run().unwrap()
+        run_cluster(cfg, app("lammps"))
     };
     let chunk = run(Granularity::Chunk);
     let page = run(Granularity::Page);

@@ -1,6 +1,6 @@
 //! Parallel rank execution must be bit-identical to serial.
 //!
-//! ClusterSim runs ranks on a worker pool when `threads > 1`. The
+//! The cluster runs ranks on a worker pool when `threads > 1`. The
 //! acceptance bar for that parallelism is strict: the serialized
 //! [`cluster_sim::RunResult`] — epochs, schedule trace, link traces,
 //! engine statistics, everything — must match the serial run byte for
@@ -10,7 +10,7 @@
 //! failure injection with rollbacks.
 
 use cluster_sim::{
-    ClusterConfig, ClusterSim, FailureConfig, RemoteConfig, UniformWorkload, Workload,
+    Cluster, ClusterConfig, FailureConfig, RemoteConfig, RunOptions, UniformWorkload, Workload,
 };
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
@@ -35,7 +35,10 @@ fn runs_at_all_thread_counts(cfg: &ClusterConfig) -> Vec<String> {
         .map(|&threads| {
             let mut c = cfg.clone();
             c.threads = threads;
-            let result = ClusterSim::new(c, factory).unwrap().run().unwrap();
+            let result = Cluster::new(c, factory)
+                .run(RunOptions::new())
+                .unwrap()
+                .result;
             serde_json::to_string(&result).unwrap()
         })
         .collect()

@@ -12,7 +12,7 @@
 //! comparison robust to scheduler noise without loosening it into
 //! meaninglessness.
 
-use cluster_sim::{ClusterConfig, ClusterSim, RunProfile};
+use cluster_sim::{Cluster, ClusterConfig, RunOptions, RunProfile};
 use hpc_workloads::SyntheticApp;
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
@@ -32,13 +32,15 @@ fn quick_config(threads: usize) -> ClusterConfig {
 }
 
 fn run_once(threads: usize) -> (String, Duration, RunProfile) {
-    let sim = ClusterSim::new(quick_config(threads), |_| {
+    let sim = Cluster::new(quick_config(threads), |_| {
         Box::new(SyntheticApp::lammps_scaled(0.05).with_compute(SimDuration::from_secs(5)))
-    })
-    .expect("cluster setup");
+    });
     let start = Instant::now();
-    let (result, profile) = sim.run_profiled().expect("cluster run");
+    let outcome = sim
+        .run(RunOptions::new().with_profile(true))
+        .expect("cluster run");
     let wall = start.elapsed();
+    let (result, profile) = (outcome.result, outcome.profile.expect("profile requested"));
     (
         serde_json::to_string(&result).expect("serialize"),
         wall,

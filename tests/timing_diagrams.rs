@@ -8,7 +8,10 @@
 //! * Figure 5c: with remote pre-copy, checkpoint traffic flows during
 //!   compute windows instead of arriving as one post-checkpoint burst.
 
-use cluster_sim::{Activity, ClusterConfig, ClusterSim, RemoteConfig, UniformWorkload, Workload};
+use cluster_sim::{
+    Activity, Cluster, ClusterConfig, RemoteConfig, RunOptions, RunResult, UniformWorkload,
+    Workload,
+};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_emu::SimDuration;
 
@@ -32,12 +35,16 @@ fn factory(_g: u64) -> Box<dyn Workload> {
     ))
 }
 
+fn run_cluster(cfg: ClusterConfig, factory: fn(u64) -> Box<dyn Workload>) -> RunResult {
+    Cluster::new(cfg, factory)
+        .run(RunOptions::new())
+        .expect("cluster run")
+        .result
+}
+
 #[test]
 fn figure1_compute_and_local_checkpoints_alternate() {
-    let r = ClusterSim::new(config(PrecopyPolicy::None), factory)
-        .unwrap()
-        .run()
-        .unwrap();
+    let r = run_cluster(config(PrecopyPolicy::None), factory);
     let seq = r.schedule.sequence();
     // The canonical C L C L ... pattern appears.
     let cl_pairs = seq
@@ -55,7 +62,7 @@ fn figure1_compute_and_local_checkpoints_alternate() {
 fn figure1_remote_checkpoints_overlap_compute() {
     let mut cfg = config(PrecopyPolicy::None);
     cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(16), false));
-    let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+    let r = run_cluster(cfg, factory);
     assert!(r.remote_checkpoints >= 1);
     // Asynchronous remote checkpoint: its span extends into compute.
     assert!(
@@ -68,14 +75,8 @@ fn figure1_remote_checkpoints_overlap_compute() {
 
 #[test]
 fn figure5b_precopy_shrinks_blocking_checkpoint_spans() {
-    let no = ClusterSim::new(config(PrecopyPolicy::None), factory)
-        .unwrap()
-        .run()
-        .unwrap();
-    let pre = ClusterSim::new(config(PrecopyPolicy::Dcpcp), factory)
-        .unwrap()
-        .run()
-        .unwrap();
+    let no = run_cluster(config(PrecopyPolicy::None), factory);
+    let pre = run_cluster(config(PrecopyPolicy::Dcpcp), factory);
     let t_no = no.schedule.total(Activity::LocalCheckpoint);
     let t_pre = pre.schedule.total(Activity::LocalCheckpoint);
     assert!(
@@ -91,8 +92,8 @@ fn figure5c_remote_precopy_moves_traffic_into_compute_windows() {
     let mut pre_cfg = config(PrecopyPolicy::Dcpcp);
     pre_cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(16), true));
 
-    let burst = ClusterSim::new(burst_cfg, factory).unwrap().run().unwrap();
-    let pre = ClusterSim::new(pre_cfg, factory).unwrap().run().unwrap();
+    let burst = run_cluster(burst_cfg, factory);
+    let pre = run_cluster(pre_cfg, factory);
 
     // Same-order volumes, but the pre-copy trace is much flatter.
     let burst_trace = &burst.link_traces[0];
@@ -116,7 +117,7 @@ fn restart_spans_appear_after_failures() {
         mtbf_hard: SimDuration::from_secs(1_000_000),
     });
     cfg.failure_horizon = SimDuration::from_secs(600);
-    let r = ClusterSim::new(cfg, factory).unwrap().run().unwrap();
+    let r = run_cluster(cfg, factory);
     assert!(r.soft_failures > 0);
     let restarts = r.schedule.of(Activity::Restart);
     assert_eq!(restarts.len() as u64, r.soft_failures + r.hard_failures);

@@ -8,7 +8,7 @@
 //!   `--threads 4` once serialized to JSONL — per-rank buffers merge
 //!   in `(time, rank)` order regardless of execution interleaving.
 
-use cluster_sim::{ClusterConfig, ClusterSim, RemoteConfig, Workload};
+use cluster_sim::{Cluster, ClusterConfig, RemoteConfig, RunOptions, Workload};
 use hpc_workloads::SyntheticApp;
 use nvm_chkpt::{
     BufferSink, CheckpointEngine, EngineConfig, PrecopyPolicy, TraceEventKind, Tracer,
@@ -112,9 +112,7 @@ fn canonical_cpc_run_matches_golden_sequence() {
 }
 
 fn traced_config(threads: usize) -> ClusterConfig {
-    let mut cfg = ClusterConfig::new(2, 2)
-        .with_threads(threads)
-        .with_trace(true);
+    let mut cfg = ClusterConfig::new(2, 2).with_threads(threads);
     cfg.container_bytes = 24 * MB;
     cfg.local_interval = Some(SimDuration::from_secs(5));
     cfg.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
@@ -131,10 +129,10 @@ fn jsonl_trace_is_byte_identical_across_thread_counts() {
     let dir = std::env::temp_dir();
     let mut paths = Vec::new();
     for threads in [1usize, 4] {
-        let result = ClusterSim::new(traced_config(threads), gtc_factory)
+        let result = Cluster::new(traced_config(threads), gtc_factory)
+            .run(RunOptions::new().with_trace(true))
             .unwrap()
-            .run()
-            .unwrap();
+            .result;
         assert!(!result.trace.is_empty());
         let path = dir.join(format!("nvm_trace_golden_t{threads}.jsonl"));
         let sink = JsonlSink::create(&path).unwrap();
