@@ -7,7 +7,13 @@
 //! Chrome `trace_event` JSON viewable in chrome://tracing or
 //! Perfetto); `--metrics PATH` runs a metered GTC simulation and
 //! writes its metrics report to PATH as stable-ordered JSON plus a
-//! Prometheus text exposition alongside it; `--store DIR` runs the
+//! Prometheus text exposition alongside it; `--analyze PATH` runs a
+//! traced GTC simulation through the `nvm-obs` analyzer and writes the
+//! critical-path blame + rollup report to PATH as stable JSON plus a
+//! folded-stack flamegraph alongside it; `--analyze-from TRACE`
+//! analyzes a previously recorded JSONL trace instead (the report is a
+//! pure function of the stream, so the output matches the live run the
+//! trace came from byte for byte); `--store DIR` runs the
 //! durable-store recovery experiment, leaving one container file per
 //! rank under DIR and timing per-rank recovery from those files alone.
 //! `--store` combines with `--trace`: the traced run then attaches the
@@ -132,6 +138,15 @@ fn main() {
     ablations::render_serialized(&s).print();
     write_json("ablation_serialized_copy", &s);
 
+    let bl = blame::run(&scale);
+    blame::render(&bl).print();
+    println!(
+        "\nexposed checkpoint time on the critical path: dcpcp {:.1} ms vs cpc {:.1} ms",
+        blame::exposed(&bl, "dcpcp") as f64 / 1e6,
+        blame::exposed(&bl, "cpc") as f64 / 1e6,
+    );
+    write_json("blame", &bl);
+
     let restart = extensions::run_restart();
     let compression = extensions::run_compression();
     let redundancy = extensions::run_redundancy();
@@ -162,6 +177,37 @@ fn main() {
                 write_json("trace_summary", &summary);
             }
             Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+    }
+
+    if let Some(path) = &args.analyze {
+        let (events, report) = analyze::run(&scale);
+        match analyze::export(&report, &events, path) {
+            Ok(folded) => {
+                analyze::render(&report, path).print();
+                println!("folded-stack flamegraph written to {folded}.");
+            }
+            Err(e) => eprintln!("failed to write analysis to {path}: {e}"),
+        }
+    }
+
+    if let Some(trace_path) = &args.analyze_from {
+        match std::fs::read_to_string(trace_path) {
+            Ok(text) => match nvm_trace::read_jsonl(&text) {
+                Ok(events) => {
+                    let report = nvm_obs::analyze(&events, nvm_obs::DEFAULT_BUCKET_NS);
+                    let path = format!("{trace_path}.analysis.json");
+                    match analyze::export(&report, &events, &path) {
+                        Ok(folded) => {
+                            analyze::render(&report, &path).print();
+                            println!("folded-stack flamegraph written to {folded}.");
+                        }
+                        Err(e) => eprintln!("failed to write analysis to {path}: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("cannot analyze {trace_path}: {e}"),
+            },
+            Err(e) => eprintln!("cannot read {trace_path}: {e}"),
         }
     }
 

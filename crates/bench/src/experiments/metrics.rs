@@ -18,19 +18,25 @@ use cluster_sim::{Cluster, RemoteConfig, RunOptions};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_metrics::{names, to_prometheus_text, MetricsReport};
 
-/// Run the metered simulation and return its metrics report.
+/// Run the metered simulation and return its metrics report. The run
+/// also traces, so the exposure quantities (critical-path blame, which
+/// no snapshot counter can carry) are filled from the analyzer.
 pub fn run(scale: &Scale) -> MetricsReport {
     let mut cfg = cluster_config(scale, PrecopyPolicy::Dcpcp);
     cfg.remote = Some(RemoteConfig::infiniband(scale.local_interval * 2, true));
-    Cluster::new(cfg, {
+    let r = Cluster::new(cfg, {
         let scale = *scale;
         move |_| make_app("gtc", &scale)
     })
-    .run(RunOptions::new().with_metrics(true))
+    .run(RunOptions::new().with_metrics(true).with_trace(true))
     .expect("metered run")
-    .result
-    .metrics
-    .expect("metrics enabled")
+    .result;
+    let mut report = r.metrics.expect("metrics enabled");
+    let b = nvm_obs::blame(&r.trace);
+    report
+        .derived
+        .set_exposure(b.exposed_checkpoint_fraction, b.hidden_checkpoint_fraction);
+    report
 }
 
 /// Sibling path for the Prometheus text exposition.
@@ -70,6 +76,7 @@ pub fn render(report: &MetricsReport, path: &str) -> Table {
             "Eff. NVM BW (MB/s)",
             "Peak link (MB/s)",
             "Helper util",
+            "Exposed ckpt",
         ],
     );
     t.row(vec![
@@ -88,6 +95,7 @@ pub fn render(report: &MetricsReport, path: &str) -> Table {
             d.peak_interconnect_bytes_per_s as f64 / (1 << 20) as f64
         ),
         format!("{:.3}", d.helper_cpu_utilization),
+        format!("{:.1}%", d.exposed_checkpoint_fraction * 100.0),
     ]);
     t
 }
@@ -102,6 +110,11 @@ mod tests {
         let report = run(&Scale::quick());
         assert!(report.snapshot.counter(names::CHKPT_CHECKPOINTS_TOTAL) > 0);
         assert!(report.derived.precopy_fraction > 0.0);
+        // The blame-derived exposure quantities are filled in.
+        let e = report.derived.exposed_checkpoint_fraction;
+        let h = report.derived.hidden_checkpoint_fraction;
+        assert!(e > 0.0 && e < 1.0, "exposed fraction {e}");
+        assert!(h > 0.0 && h < 1.0, "hidden fraction {h}");
         let prom = to_prometheus_text(&report.snapshot);
         let samples = validate_prometheus_text(&prom).expect("valid exposition");
         assert!(samples > 10, "expected a real exposition, got {samples}");

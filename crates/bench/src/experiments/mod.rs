@@ -5,6 +5,8 @@
 //! thin binaries and the `run_all` aggregator share one code path.
 
 pub mod ablations;
+pub mod analyze;
+pub mod blame;
 pub mod extensions;
 pub mod fig10;
 pub mod fig4;

@@ -116,6 +116,17 @@ pub struct RunArgs {
     /// to PATH as stable-ordered JSON, plus Prometheus text exposition
     /// alongside it.
     pub metrics: Option<String>,
+    /// `--analyze PATH` / `--analyze=PATH`: run a traced GTC
+    /// simulation through the `nvm-obs` analyzer and write the blame +
+    /// rollup report to PATH as stable-ordered JSON, plus a
+    /// folded-stack flamegraph alongside it (`<path>.folded`).
+    pub analyze: Option<String>,
+    /// `--analyze-from TRACE` / `--analyze-from=TRACE`: analyze a
+    /// previously recorded JSONL trace instead of running a
+    /// simulation; the report lands at `TRACE.analysis.json` with the
+    /// flamegraph beside it. Rejects traces with a newer schema
+    /// version.
+    pub analyze_from: Option<String>,
     /// `--store DIR` / `--store=DIR`: run the durable-store recovery
     /// experiment — a store-attached cluster run leaving one container
     /// file per rank under DIR, then per-rank recovery from those
@@ -126,8 +137,8 @@ pub struct RunArgs {
 }
 
 /// Usage string printed when strict parsing fails.
-pub const USAGE: &str =
-    "usage: [--quick] [--threads N] [--trace PATH] [--metrics PATH] [--store DIR]";
+pub const USAGE: &str = "usage: [--quick] [--threads N] [--trace PATH] [--metrics PATH] \
+[--analyze PATH] [--analyze-from TRACE] [--store DIR]";
 
 impl RunArgs {
     /// Parse an argument list (`args[0]` is the binary name and is
@@ -166,6 +177,8 @@ impl RunArgs {
                 }
                 "--trace" => out.trace = Some(value(&mut it)?),
                 "--metrics" => out.metrics = Some(value(&mut it)?),
+                "--analyze" => out.analyze = Some(value(&mut it)?),
+                "--analyze-from" => out.analyze_from = Some(value(&mut it)?),
                 "--store" => out.store = Some(value(&mut it)?),
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -312,6 +325,25 @@ mod tests {
             .options();
         assert!(full.trace && full.metrics);
         assert_eq!(full.store_dir.as_deref(), Some(std::path::Path::new("d")));
+    }
+
+    #[test]
+    fn analyze_flags_parse_in_both_forms() {
+        let live = parse(&["--quick", "--analyze", "a.json"]).unwrap();
+        assert_eq!(live.analyze.as_deref(), Some("a.json"));
+        assert!(live.analyze_from.is_none());
+        let inline = parse(&["--analyze=a.json", "--analyze-from=t.jsonl"]).unwrap();
+        assert_eq!(inline.analyze.as_deref(), Some("a.json"));
+        assert_eq!(inline.analyze_from.as_deref(), Some("t.jsonl"));
+        assert!(parse(&["--analyze"]).unwrap_err().contains("value"));
+        assert!(parse(&["--analyze-from"]).unwrap_err().contains("value"));
+        assert!(parse(&["--analyze", "--quick"])
+            .unwrap_err()
+            .contains("value"));
+        // Analysis flags do not flip the run-capture options; the
+        // analyzer run traces internally.
+        let opts = parse(&["--analyze", "a.json"]).unwrap().options();
+        assert!(!opts.trace && !opts.metrics);
     }
 
     #[test]

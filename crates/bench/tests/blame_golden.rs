@@ -1,0 +1,59 @@
+//! Golden trace-analysis regression gate.
+//!
+//! The quick-preset analyzer report (critical-path blame + virtual-time
+//! rollup over the traced GTC run) must be (a) byte-identical
+//! regardless of rank-execution thread count and (b) byte-identical to
+//! the committed `experiments/blame_baseline.json`. There is no
+//! tolerance: any drift in the simulation model *or* the analyzer
+//! shows up here as a diff. Regenerate the baseline after an
+//! intentional change with
+//! `BLESS=1 cargo test -p nvm-bench --test blame_golden`.
+//!
+//! `BLESS=1` also regenerates the committed paper-preset policy
+//! comparison `experiments/blame.json` (the artifact
+//! `blame::tests::committed_paper_rows_show_dcpcp_exposing_less_than_cpc`
+//! asserts the headline claim against), so both stay in lockstep with
+//! the model.
+
+use nvm_bench::experiments::{analyze, blame};
+use nvm_bench::scale::Scale;
+use nvm_obs::to_stable_json;
+use std::path::PathBuf;
+
+fn experiments_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("experiments")
+}
+
+#[test]
+fn quick_analysis_is_thread_invariant_and_matches_baseline() {
+    let (_, serial_report) = analyze::run(&Scale::quick());
+    let serial = to_stable_json(&serial_report);
+    let (_, threaded_report) = analyze::run(&Scale::quick().with_threads(4));
+    let threaded = to_stable_json(&threaded_report);
+    assert_eq!(
+        serial, threaded,
+        "analysis report must be bit-identical at any thread count"
+    );
+
+    let path = experiments_dir().join("blame_baseline.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &serial).expect("write baseline");
+        // Same bytes `run_all`'s write_json produces, so a paper run
+        // and a bless leave the committed artifact identical.
+        let rows = blame::run(&Scale::paper());
+        let body = serde_json::to_string_pretty(&rows).expect("rows serialize");
+        std::fs::write(experiments_dir().join("blame.json"), body).expect("write blame.json");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing baseline {}: {e}", path.display()));
+    assert_eq!(
+        serial, committed,
+        "quick-preset analysis diverged from experiments/blame_baseline.json \
+         (BLESS=1 regenerates it after an intentional change)"
+    );
+}

@@ -506,6 +506,13 @@ impl CheckpointEngine {
             self.hot
                 .interference_time_ns_total
                 .add(interference.as_nanos());
+            if self.tracer.enabled() {
+                self.trace(TraceEventKind::PrecopyEnd {
+                    epoch: self.epoch,
+                    busy_ns: copied_time.as_nanos(),
+                    interference_ns: interference.as_nanos(),
+                });
+            }
         }
         self.clock.advance(dur + interference);
     }
@@ -566,6 +573,7 @@ impl CheckpointEngine {
             self.trace(TraceEventKind::PrecopyDrain {
                 chunk: id.0,
                 bytes: len,
+                cost_ns: cost.as_nanos(),
             });
         }
         // Idle budget does not bank: background copying cannot run
@@ -2046,6 +2054,7 @@ mod tests {
                 TraceEventKind::ProtectionFault { .. } => "fault",
                 TraceEventKind::PrecopyStart { .. } => "precopy_start",
                 TraceEventKind::PrecopyDrain { .. } => "drain",
+                TraceEventKind::PrecopyEnd { .. } => "precopy_end",
                 TraceEventKind::PrecopyWaste { .. } => "waste",
                 TraceEventKind::CoordinatedBegin { .. } => "begin",
                 TraceEventKind::CommitFlip { .. } => "flip",
@@ -2058,6 +2067,7 @@ mod tests {
             vec![
                 "precopy_start",
                 "drain",
+                "precopy_end",
                 "fault",
                 "waste",
                 "begin",

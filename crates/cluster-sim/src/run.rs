@@ -49,6 +49,7 @@ use nvm_chkpt::{
 };
 use nvm_emu::{BandwidthModel, MemoryDevice, SimDuration, SimTime, TempDir, VirtualClock};
 use nvm_metrics::{names, MergeStats, Metrics, MetricsRegistry, MetricsReport};
+use nvm_obs::{FlightDump, Rollup};
 use nvm_store::{FileSpill, FileStore, PersistError, Persistence, StoreStats};
 use nvm_trace::{BufferSink, TraceEvent, TraceEventKind, Tracer};
 use rdma_sim::armci::RemoteError;
@@ -95,6 +96,34 @@ pub enum SimError {
         /// Chunk id that mismatched.
         chunk: u64,
     },
+    /// A fatal error with the flight recorder's last-events dump
+    /// attached. Produced instead of the bare error when
+    /// [`RunOptions::flight`] is set; match on [`SimError::cause`] to
+    /// handle the underlying failure uniformly.
+    WithFlight {
+        /// The fatal error itself.
+        source: Box<SimError>,
+        /// Tail of every rank's event stream at the moment of death.
+        dump: FlightDump,
+    },
+}
+
+impl SimError {
+    /// The underlying error, unwrapping a flight-recorder envelope.
+    pub fn cause(&self) -> &SimError {
+        match self {
+            SimError::WithFlight { source, .. } => source.cause(),
+            other => other,
+        }
+    }
+
+    /// The attached flight dump, if the run was recorded.
+    pub fn flight(&self) -> Option<&FlightDump> {
+        match self {
+            SimError::WithFlight { dump, .. } => Some(dump),
+            _ => None,
+        }
+    }
 }
 
 nvm_emu::error_enum! {
@@ -112,6 +141,7 @@ nvm_emu::error_enum! {
             "recovery mismatch on node {node}: rank {rank} chunk {chunk} \
              differs from its recovered image"
         ),
+        leaf SimError::WithFlight { source, dump } => write!(f, "{source}\n{}", dump.render()),
     }
 }
 
@@ -152,6 +182,10 @@ pub struct RunResult {
     /// Merged metrics report (raw snapshot + derived paper metrics);
     /// `None` unless [`RunOptions::metrics`] is set.
     pub metrics: Option<MetricsReport>,
+    /// Virtual-time rollups built per shard from the same event
+    /// stream and folded rank→shard→coordinator; `None` unless
+    /// [`RunOptions::rollup`] is set.
+    pub rollup: Option<Rollup>,
     /// Durable-store counters summed over every rank in rank order;
     /// `None` unless [`RunOptions::store_dir`] is set.
     pub store: Option<StoreStats>,
@@ -214,6 +248,21 @@ pub struct RunOptions {
     /// never inside it — [`RunResult`] stays byte-identity-gated,
     /// timing is not.
     pub profile: bool,
+    /// Build interval-bucketed virtual-time rollups with this bucket
+    /// width (virtual nanoseconds) into [`RunResult::rollup`]. The
+    /// rollup is a pure function of the event stream, so it is
+    /// bit-identical at any thread count whether or not `trace` is
+    /// also set.
+    pub rollup: Option<u64>,
+    /// Keep a bounded flight-recorder tail of this many events per
+    /// rank and attach it to fatal failures: a
+    /// [`SimError::Unrecoverable`] run returns
+    /// [`SimError::WithFlight`], and a recovery ladder that falls
+    /// through to virgin state surfaces the dump in
+    /// [`RunOutcome::flight`]. Without `trace`/`rollup` the per-rank
+    /// buffers stay rings of this size, so long runs pay O(bound)
+    /// memory, not O(events).
+    pub flight: Option<usize>,
 }
 
 impl RunOptions {
@@ -245,6 +294,32 @@ impl RunOptions {
     pub fn with_profile(mut self, profile: bool) -> Self {
         self.profile = profile;
         self
+    }
+
+    /// Build virtual-time rollups with the given bucket width
+    /// (builder style).
+    pub fn with_rollup(mut self, bucket_ns: u64) -> Self {
+        self.rollup = Some(bucket_ns);
+        self
+    }
+
+    /// Keep a flight-recorder tail of `per_rank` events per rank and
+    /// attach it to fatal failures (builder style).
+    pub fn with_flight(mut self, per_rank: usize) -> Self {
+        self.flight = Some(per_rank);
+        self
+    }
+
+    /// True when the full event stream must be collected (trace or
+    /// rollup output requested).
+    fn stream(&self) -> bool {
+        self.trace || self.rollup.is_some()
+    }
+
+    /// True when ranks need tracers attached at all (full stream or
+    /// bounded flight ring).
+    fn observing(&self) -> bool {
+        self.stream() || self.flight.is_some()
     }
 }
 
@@ -285,6 +360,12 @@ pub struct RunOutcome {
     /// Spill-file accounting; `Some` iff the run spilled (see
     /// [`ClusterConfig::spill`]).
     pub spill: Option<SpillReport>,
+    /// Flight-recorder dump taken when a recovery ladder fell all the
+    /// way through to a virgin restart (progress was lost, but the
+    /// run survived); `Some` only when [`RunOptions::flight`] is set
+    /// and that happened. Fatal failures attach their dump to
+    /// [`SimError::WithFlight`] instead.
+    pub flight: Option<FlightDump>,
 }
 
 /// The public entry point: a configured cluster plus the workload
@@ -565,8 +646,16 @@ impl ClusterSim {
                 )?;
                 let mut workload = factory(global);
                 workload.setup(&mut engine)?;
-                let sink = if options.trace {
-                    let sink = Arc::new(BufferSink::new());
+                let sink = if options.observing() {
+                    // Full stream outputs (trace/rollup) need every
+                    // event; a flight-only run keeps a bounded ring.
+                    let sink = if options.stream() {
+                        Arc::new(BufferSink::new())
+                    } else {
+                        Arc::new(BufferSink::with_capacity(
+                            options.flight.expect("observing implies an output"),
+                        ))
+                    };
                     engine.set_tracer(Tracer::new(sink.clone()).with_rank(global));
                     Some(sink)
                 } else {
@@ -634,10 +723,46 @@ impl ClusterSim {
             .unwrap_or(SimTime::ZERO)
     }
 
+    /// Materialize the flight recorder: the last `per_rank` events of
+    /// every rank's sink, merged. `None` unless
+    /// [`RunOptions::flight`] is set. Snapshots (never drains) the
+    /// sinks, so a trace-collecting run still merges its full stream
+    /// afterwards.
+    fn flight_dump(&self, reason: &str) -> Option<FlightDump> {
+        let per_rank = self.options.flight?;
+        let buffers: Vec<Vec<TraceEvent>> = self
+            .ranks
+            .iter()
+            .flatten()
+            .map(|r| r.sink.as_ref().map(|s| s.snapshot()).unwrap_or_default())
+            .collect();
+        Some(FlightDump::capture(reason, per_rank, buffers))
+    }
+
     fn barrier(&mut self) -> SimTime {
         self.barriers += 1;
         let t = self.max_time();
         for r in self.ranks.iter().flatten() {
+            // The barrier join edge of the causal DAG: stamped at the
+            // rank's arrival, with its stall. The straggler(s) record
+            // wait 0 — that zero is how the critical-path extractor
+            // finds the rank that owned the segment. Runs on the
+            // coordinator, so per-rank order (and hence the merged
+            // trace) is thread-count independent.
+            if let Some(sink) = &r.sink {
+                let arrival = r.clock.now();
+                nvm_trace::TraceSink::record(
+                    sink.as_ref(),
+                    TraceEvent {
+                        t_ns: arrival.as_nanos(),
+                        rank: r.global,
+                        kind: TraceEventKind::BarrierWait {
+                            id: self.barriers,
+                            wait_ns: t.since(arrival).as_nanos(),
+                        },
+                    },
+                );
+            }
             r.clock.advance_to(t);
         }
         t
@@ -676,7 +801,11 @@ impl ClusterSim {
         // their own buffer and merge with the per-rank streams at the
         // end.
         let mut coord: Vec<TraceEvent> = Vec::new();
-        let tracing = self.options.trace;
+        // Trace *collection* is on for any full-stream output: the
+        // JSONL/Chrome trace itself, or rollups derived from it.
+        let tracing = self.options.stream();
+        // Dump taken if a recovery ladder bottoms out at virgin.
+        let mut flight: Option<FlightDump> = None;
         // Coordinator-side metrics (comm stalls, barrier count, link
         // peaks) — recorded only from the serial coordinator loop, so
         // observation order is the same at any thread count.
@@ -734,10 +863,17 @@ impl ClusterSim {
                             .iter()
                             .any(|o| o.node == buddy && o.kind == FailureKind::Hard)
                     {
-                        return Err(SimError::Unrecoverable {
+                        let err = SimError::Unrecoverable {
                             node: ev.node,
                             buddy,
                             iteration: iter,
+                        };
+                        return Err(match self.flight_dump(&err.to_string()) {
+                            Some(dump) => SimError::WithFlight {
+                                source: Box::new(err),
+                                dump,
+                            },
+                            None => err,
                         });
                     }
                 }
@@ -766,6 +902,15 @@ impl ClusterSim {
                                 &mut coord,
                                 &coord_metrics,
                             )?;
+                            // A ladder that bottomed out at virgin
+                            // lost all progress — worth a black-box
+                            // dump even though the run survives.
+                            if record.source == RecoverySource::Virgin && flight.is_none() {
+                                flight = self.flight_dump(&format!(
+                                    "recovery of node {} fell through to virgin at iteration {iter}",
+                                    ev.node
+                                ));
+                            }
                             target = target.min(match record.source {
                                 RecoverySource::Virgin => 0,
                                 RecoverySource::LocalStore => last_local_iter,
@@ -1039,12 +1184,14 @@ impl ClusterSim {
         let nodes_per_shard = self.config.nodes.div_ceil(shards);
         struct ShardMerge {
             trace: Vec<TraceEvent>,
+            rollup: Option<Rollup>,
             engine_stats: EngineStats,
             registry: Option<MetricsRegistry>,
             store_stats: Option<StoreStats>,
             busy_ns: u64,
         }
         let metrics_on = self.options.metrics;
+        let rollup_bucket = self.options.rollup;
         let merge_shard = |shard_ranks: &mut [Vec<Rank>], shard_nodes: &[NodeDevices]| {
             let t0 = thread_cpu_ns();
             let trace = if tracing {
@@ -1057,6 +1204,11 @@ impl ClusterSim {
             } else {
                 Vec::new()
             };
+            // Per-shard rollup over the shard's own (sorted) slice of
+            // the stream. Bucket sums are commutative, so the
+            // coordinator's fold below equals one rollup over the
+            // whole merged trace — at any shard or thread count.
+            let rollup = rollup_bucket.map(|bucket| Rollup::from_events(&trace, bucket));
             // `MergeStats` rides on the exhaustively-destructuring
             // `AddAssign` impl, so adding a field to `EngineStats` is a
             // compile error here rather than a silently-dropped
@@ -1092,6 +1244,7 @@ impl ClusterSim {
             };
             ShardMerge {
                 trace,
+                rollup,
                 engine_stats,
                 registry,
                 store_stats,
@@ -1118,7 +1271,19 @@ impl ClusterSim {
         };
         let merge_busy_ns: Vec<u64> = shard_results.iter().map(|s| s.busy_ns).collect();
 
-        let merged_trace = if tracing {
+        // Coordinator fold of the shard rollups, plus the coordinator
+        // buffer's own events (remote transfers, recoveries).
+        let rollup = rollup_bucket.map(|bucket| {
+            let mut folded = Rollup::new(bucket);
+            for shard in &shard_results {
+                if let Some(partial) = &shard.rollup {
+                    folded.merge_from(partial);
+                }
+            }
+            folded.merge_from(&Rollup::from_events(&coord, bucket));
+            folded
+        });
+        let merged_trace = if self.options.trace {
             let mut streams: Vec<Vec<TraceEvent>> = shard_results
                 .iter_mut()
                 .map(|s| std::mem::take(&mut s.trace))
@@ -1183,6 +1348,7 @@ impl ClusterSim {
             checkpoint_bytes_per_rank: d_per_rank,
             trace: merged_trace,
             metrics,
+            rollup,
             store,
             recovery: recovery_records,
         };
@@ -1217,6 +1383,7 @@ impl ClusterSim {
             result,
             profile,
             spill,
+            flight,
         })
     }
 
@@ -1353,7 +1520,7 @@ impl ClusterSim {
         coord: &mut Vec<TraceEvent>,
         coord_metrics: &Metrics,
     ) {
-        if self.options.trace {
+        if self.options.stream() {
             let rank0 = self.config.first_rank(record.node);
             coord.push(TraceEvent {
                 t_ns: t0.as_nanos(),
@@ -1363,6 +1530,22 @@ impl ClusterSim {
                     source: record.source.name().to_string(),
                 },
             });
+            // Per-chunk verification records sit between start and
+            // end (same timestamp and rank as the end; buffer order
+            // keeps them inside), so the Chrome exporter renders them
+            // nested under the recovery span rather than as stray
+            // instants.
+            for chunk in &record.chunks {
+                coord.push(TraceEvent {
+                    t_ns: (t0 + record.duration).as_nanos(),
+                    rank: rank0,
+                    kind: TraceEventKind::RecoveryVerify {
+                        rank: chunk.rank,
+                        chunk: chunk.chunk,
+                        bytes: chunk.len,
+                    },
+                });
+            }
             coord.push(TraceEvent {
                 t_ns: (t0 + record.duration).as_nanos(),
                 rank: rank0,
@@ -1409,7 +1592,7 @@ impl ClusterSim {
             d_per_rank,
         } = progress;
         let rpn = self.config.node_rank_count(node);
-        let tracing = self.options.trace;
+        let tracing = self.options.stream();
         let t0 = self.ranks[node][0].clock.now();
 
         if self.config.engine.materialization == Materialization::Synthetic {
@@ -2204,5 +2387,123 @@ mod tests {
             .run_profiled()
             .unwrap();
         assert_eq!(profile.threads, 1);
+    }
+
+    #[test]
+    fn rollup_is_bit_identical_across_threads_and_equals_whole_stream_rebuild() {
+        let mut base = small_config();
+        base.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+        let bucket = 1_000_000_000;
+        let opts = RunOptions::new().with_trace(true).with_rollup(bucket);
+        let serial = run_opts(base.clone().with_threads(1), opts.clone());
+        let parallel = run_opts(base.with_threads(4), opts);
+        let rollup = serial.rollup.clone().expect("rollup requested");
+        assert_eq!(parallel.rollup.as_ref(), Some(&rollup));
+        assert!(!rollup.series.is_empty());
+        // The shard-merged rollup must equal one built directly over
+        // the merged trace — the merge path adds nothing and loses
+        // nothing.
+        assert_eq!(rollup, Rollup::from_events(&serial.trace, bucket));
+        // Rollup without trace: same rollup, empty trace in the result.
+        let quiet = run_opts(
+            {
+                let mut c = small_config();
+                c.remote = Some(RemoteConfig::infiniband(SimDuration::from_secs(10), true));
+                c
+            },
+            RunOptions::new().with_rollup(bucket),
+        );
+        assert_eq!(quiet.rollup, Some(rollup));
+        assert!(quiet.trace.is_empty());
+    }
+
+    #[test]
+    fn traces_now_carry_barrier_join_edges() {
+        let r = run_opts(small_config(), RunOptions::new().with_trace(true));
+        let mut ids: Vec<u64> = r
+            .trace
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::BarrierWait { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert!(!ids.is_empty(), "cluster runs must emit barrier joins");
+        ids.sort_unstable();
+        ids.dedup();
+        // Every barrier id must have one zero-wait straggler among its
+        // ranks — the anchor the critical-path extractor keys on.
+        for id in ids {
+            let zero_waits = r
+                .trace
+                .iter()
+                .filter(|e| {
+                    matches!(e.kind, TraceEventKind::BarrierWait { id: i, wait_ns: 0 } if i == id)
+                })
+                .count();
+            assert!(zero_waits >= 1, "barrier {id} has no zero-wait rank");
+        }
+    }
+
+    #[test]
+    fn unrecoverable_run_attaches_a_flight_dump() {
+        let mut cfg = small_config();
+        cfg.schedule_override = Some(FailureSchedule::from_events(vec![
+            event(10, FailureKind::Hard, 0),
+            event(10, FailureKind::Hard, 1),
+        ]));
+        let err = Cluster::new(cfg.clone(), factory)
+            .run(RunOptions::new().with_flight(8))
+            .unwrap_err();
+        match &err {
+            SimError::WithFlight { source, dump } => {
+                assert!(matches!(**source, SimError::Unrecoverable { .. }));
+                assert_eq!(dump.per_rank, 8);
+                assert!(!dump.events.is_empty());
+                // Bounded: at most 8 events per rank survive.
+                for rank in 0..4u64 {
+                    assert!(dump.events.iter().filter(|e| e.rank == rank).count() <= 8);
+                }
+            }
+            other => panic!("expected WithFlight, got {other}"),
+        }
+        assert!(matches!(err.cause(), SimError::Unrecoverable { .. }));
+        assert!(err.flight().is_some());
+        assert!(err.to_string().contains("flight recorder"));
+        // Without the option the bare error comes back, as before.
+        let bare = Cluster::new(cfg, factory)
+            .run(RunOptions::new())
+            .unwrap_err();
+        assert!(matches!(bare, SimError::Unrecoverable { .. }));
+    }
+
+    #[test]
+    fn virgin_fallthrough_surfaces_a_flight_dump_next_to_the_result() {
+        // Byte-materialized run, no store dir, no remote: a hard
+        // failure has nothing to recover from and falls through to
+        // virgin — the run survives and the outcome carries the dump.
+        let mut cfg = small_config();
+        cfg.engine = nvm_chkpt::EngineConfig::builder()
+            .materialization(Materialization::Bytes)
+            .build()
+            .unwrap();
+        cfg.iterations = 10;
+        cfg.schedule_override = Some(FailureSchedule::from_events(vec![event(
+            10,
+            FailureKind::Hard,
+            0,
+        )]));
+        let out = Cluster::new(cfg, factory)
+            .run(RunOptions::new().with_flight(16))
+            .unwrap();
+        assert_eq!(out.result.recovery.len(), 1);
+        assert_eq!(out.result.recovery[0].source, RecoverySource::Virgin);
+        let dump = out.flight.expect("virgin fallthrough must dump");
+        assert!(dump.reason.contains("virgin"));
+        assert!(!dump.events.is_empty());
+        // Flight-only instrumentation must not leak a trace into the
+        // deterministic result.
+        assert!(out.result.trace.is_empty());
+        assert!(out.result.rollup.is_none());
     }
 }

@@ -1,0 +1,103 @@
+//! Bounded flight recorder: the last N events per rank, captured at
+//! the moment a run dies.
+//!
+//! Long cluster runs cannot afford to keep (or ship) full traces just
+//! in case something fails; the flight recorder keeps a cheap bounded
+//! tail per rank and only materializes it into the error report when
+//! a run actually dies (`SimError::Unrecoverable`, or a recovery
+//! ladder falling through to virgin state). The dump is an ordinary
+//! merged event stream, so every analysis in this crate — and the
+//! JSONL/Chrome exporters in nvm-trace — work on it unchanged.
+
+use nvm_trace::{merge_ranked, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// The materialized tail of a dying run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Why the dump was taken (e.g. `unrecoverable node 3`,
+    /// `recovery fell through to virgin`).
+    pub reason: String,
+    /// Per-rank tail bound the recorder ran with.
+    pub per_rank: usize,
+    /// Last `<= per_rank` events of every rank, merged in
+    /// `(t_ns, rank)` order like any cluster trace.
+    pub events: Vec<TraceEvent>,
+}
+
+impl FlightDump {
+    /// Capture the tail of each rank's buffer and merge.
+    pub fn capture(
+        reason: impl Into<String>,
+        per_rank: usize,
+        buffers: Vec<Vec<TraceEvent>>,
+    ) -> Self {
+        let tails = buffers
+            .into_iter()
+            .map(|mut events| {
+                let excess = events.len().saturating_sub(per_rank);
+                if excess > 0 {
+                    events.drain(..excess);
+                }
+                events
+            })
+            .collect();
+        FlightDump {
+            reason: reason.into(),
+            per_rank,
+            events: merge_ranked(tails),
+        }
+    }
+
+    /// Human-readable block for error reports: a header line plus one
+    /// line per event.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "flight recorder ({}): last {} event(s) per rank, {} total\n",
+            self.reason,
+            self.per_rank,
+            self.events.len()
+        );
+        for event in &self.events {
+            out.push_str(&format!(
+                "  t={}ns rank={} {:?}\n",
+                event.t_ns, event.rank, event.kind
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_trace::TraceEventKind;
+
+    fn ev(t_ns: u64, rank: u64, chunk: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            rank,
+            kind: TraceEventKind::ProtectionFault { chunk },
+        }
+    }
+
+    #[test]
+    fn keeps_only_the_tail_and_merges_in_time_rank_order() {
+        let rank0 = vec![ev(0, 0, 1), ev(10, 0, 2), ev(20, 0, 3)];
+        let rank1 = vec![ev(5, 1, 4), ev(15, 1, 5)];
+        let dump = FlightDump::capture("test", 2, vec![rank0, rank1]);
+        let stamps: Vec<(u64, u64)> = dump.events.iter().map(|e| (e.t_ns, e.rank)).collect();
+        // Rank 0 lost its first event (bound 2); merge is (t, rank).
+        assert_eq!(stamps, vec![(5, 1), (10, 0), (15, 1), (20, 0)]);
+        assert_eq!(dump.per_rank, 2);
+    }
+
+    #[test]
+    fn render_carries_reason_and_every_event() {
+        let dump = FlightDump::capture("unrecoverable node 3", 8, vec![vec![ev(7, 0, 9)]]);
+        let text = dump.render();
+        assert!(text.starts_with("flight recorder (unrecoverable node 3)"));
+        assert!(text.contains("t=7ns rank=0"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

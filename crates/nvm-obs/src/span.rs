@@ -1,0 +1,314 @@
+//! Span reconstruction: fold the flat [`TraceEvent`] stream back into
+//! per-rank, per-epoch duration spans.
+//!
+//! The trace records *points* (a drain finished, a barrier was
+//! reached); analysis wants *intervals* (this rank spent 4 ms stalled
+//! at barrier 17). This module pairs the begin/end event kinds and
+//! carries the single-event durations (`wait_ns`, `busy_ns`,
+//! `cost_ns`) into explicit [`Span`]s so the blame and flamegraph
+//! layers never have to know event pairing rules.
+//!
+//! Epoch attribution: events that carry an epoch keep it; everything
+//! else inherits the rank's running epoch counter (the number of
+//! `CoordinatedEnd` events the rank has emitted so far), which matches
+//! the engine's own epoch numbering.
+
+use nvm_trace::{TraceEvent, TraceEventKind};
+use std::collections::BTreeMap;
+
+/// What a reconstructed span spent its time on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Background helper copy work overlapped under compute — the
+    /// *hidden* checkpoint time of the epoch.
+    PrecopyBusy,
+    /// Compute slowdown charged because the helper shared the memory
+    /// system — checkpoint cost exposed *despite* the overlap.
+    Interference,
+    /// One background drain of a single chunk (a sub-interval of
+    /// [`SpanKind::PrecopyBusy`], kept for waste attribution).
+    Drain,
+    /// The blocking coordinated checkpoint phase.
+    Coordinated,
+    /// Stall at a cluster barrier waiting for stragglers.
+    BarrierWait,
+    /// Stall in a communication collective.
+    CommWait,
+    /// Hard-failure recovery: ladder walk, transfers, verification.
+    Recovery,
+}
+
+impl SpanKind {
+    /// Stable lowercase label (flamegraph frames, report keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::PrecopyBusy => "precopy_hidden",
+            SpanKind::Interference => "interference",
+            SpanKind::Drain => "drain",
+            SpanKind::Coordinated => "coordinated",
+            SpanKind::BarrierWait => "barrier",
+            SpanKind::CommWait => "comm",
+            SpanKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// One reconstructed interval on one rank's virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Rank the interval belongs to.
+    pub rank: u64,
+    /// Checkpoint epoch the interval belongs to.
+    pub epoch: u64,
+    /// What the time was spent on.
+    pub kind: SpanKind,
+    /// Start, virtual nanoseconds.
+    pub start_ns: u64,
+    /// Length, virtual nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl Span {
+    /// Exclusive end of the interval.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+#[derive(Default)]
+struct RankState {
+    /// Epochs committed so far == epoch of in-flight work.
+    epoch: u64,
+    /// Open `CoordinatedBegin` (start time, epoch).
+    open_coord: Option<(u64, u64)>,
+    /// Open `RecoveryStart` times (stack; recoveries never really
+    /// nest, but pairing by stack is robust to replayed traces).
+    open_recovery: Vec<u64>,
+}
+
+/// Reconstruct duration spans from an event stream.
+///
+/// The stream may be a single engine's buffer or a merged cluster
+/// trace; per-rank event order is all that matters and both preserve
+/// it. Zero-length intervals are dropped except `Coordinated`, whose
+/// presence (even at zero cost) marks an epoch boundary for the blame
+/// layer.
+pub fn build_spans(events: &[TraceEvent]) -> Vec<Span> {
+    let mut states: BTreeMap<u64, RankState> = BTreeMap::new();
+    let mut spans = Vec::new();
+    for event in events {
+        let state = states.entry(event.rank).or_default();
+        let mut push = |kind: SpanKind, epoch: u64, start_ns: u64, dur_ns: u64| {
+            if dur_ns > 0 || kind == SpanKind::Coordinated {
+                spans.push(Span {
+                    rank: event.rank,
+                    epoch,
+                    kind,
+                    start_ns,
+                    dur_ns,
+                });
+            }
+        };
+        match &event.kind {
+            TraceEventKind::PrecopyDrain { cost_ns, .. } => {
+                push(SpanKind::Drain, state.epoch, event.t_ns, *cost_ns);
+            }
+            TraceEventKind::PrecopyEnd {
+                epoch,
+                busy_ns,
+                interference_ns,
+            } => {
+                push(SpanKind::PrecopyBusy, *epoch, event.t_ns, *busy_ns);
+                push(SpanKind::Interference, *epoch, event.t_ns, *interference_ns);
+            }
+            TraceEventKind::CoordinatedBegin { epoch, .. } => {
+                state.open_coord = Some((event.t_ns, *epoch));
+            }
+            TraceEventKind::CoordinatedEnd { .. } => {
+                if let Some((start, epoch)) = state.open_coord.take() {
+                    push(
+                        SpanKind::Coordinated,
+                        epoch,
+                        start,
+                        event.t_ns.saturating_sub(start),
+                    );
+                }
+                state.epoch += 1;
+            }
+            TraceEventKind::BarrierWait { wait_ns, .. } => {
+                push(SpanKind::BarrierWait, state.epoch, event.t_ns, *wait_ns);
+            }
+            TraceEventKind::CommWait { wait_ns, .. } => {
+                push(SpanKind::CommWait, state.epoch, event.t_ns, *wait_ns);
+            }
+            TraceEventKind::RecoveryStart { .. } => {
+                state.open_recovery.push(event.t_ns);
+            }
+            TraceEventKind::RecoveryEnd { .. } => {
+                if let Some(start) = state.open_recovery.pop() {
+                    push(
+                        SpanKind::Recovery,
+                        state.epoch,
+                        start,
+                        event.t_ns.saturating_sub(start),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+/// End of the run on the virtual clock: the latest instant any event
+/// or reconstructed interval touches.
+pub fn wall_ns(events: &[TraceEvent]) -> u64 {
+    let mut wall = 0;
+    for event in events {
+        let end = match &event.kind {
+            // These events are stamped at *arrival*; the stall they
+            // describe extends past the timestamp.
+            TraceEventKind::BarrierWait { wait_ns, .. }
+            | TraceEventKind::CommWait { wait_ns, .. } => event.t_ns + wait_ns,
+            TraceEventKind::PrecopyDrain { cost_ns, .. } => event.t_ns + cost_ns,
+            _ => event.t_ns,
+        };
+        wall = wall.max(end);
+    }
+    wall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, rank: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { t_ns, rank, kind }
+    }
+
+    #[test]
+    fn pairs_coordinated_and_recovery_and_carries_durations() {
+        let events = vec![
+            ev(
+                0,
+                1,
+                TraceEventKind::PrecopyEnd {
+                    epoch: 0,
+                    busy_ns: 40,
+                    interference_ns: 4,
+                },
+            ),
+            ev(100, 1, TraceEventKind::BarrierWait { id: 1, wait_ns: 20 }),
+            ev(
+                120,
+                1,
+                TraceEventKind::CoordinatedBegin { epoch: 0, dirty: 1 },
+            ),
+            ev(
+                150,
+                1,
+                TraceEventKind::CoordinatedEnd {
+                    epoch: 0,
+                    copied_bytes: 64,
+                },
+            ),
+            ev(
+                150,
+                1,
+                TraceEventKind::RecoveryStart {
+                    node: 0,
+                    source: "remote-buddy".into(),
+                },
+            ),
+            ev(
+                190,
+                1,
+                TraceEventKind::RecoveryEnd {
+                    node: 0,
+                    bytes: 64,
+                    verified: 1,
+                },
+            ),
+        ];
+        let spans = build_spans(&events);
+        assert_eq!(
+            spans,
+            vec![
+                Span {
+                    rank: 1,
+                    epoch: 0,
+                    kind: SpanKind::PrecopyBusy,
+                    start_ns: 0,
+                    dur_ns: 40
+                },
+                Span {
+                    rank: 1,
+                    epoch: 0,
+                    kind: SpanKind::Interference,
+                    start_ns: 0,
+                    dur_ns: 4
+                },
+                Span {
+                    rank: 1,
+                    epoch: 0,
+                    kind: SpanKind::BarrierWait,
+                    start_ns: 100,
+                    dur_ns: 20
+                },
+                Span {
+                    rank: 1,
+                    epoch: 0,
+                    kind: SpanKind::Coordinated,
+                    start_ns: 120,
+                    dur_ns: 30
+                },
+                // Post-commit events belong to the next epoch.
+                Span {
+                    rank: 1,
+                    epoch: 1,
+                    kind: SpanKind::Recovery,
+                    start_ns: 150,
+                    dur_ns: 40
+                },
+            ]
+        );
+        assert_eq!(wall_ns(&events), 190);
+    }
+
+    #[test]
+    fn zero_length_stalls_are_dropped_but_empty_commits_kept() {
+        let events = vec![
+            ev(10, 0, TraceEventKind::BarrierWait { id: 1, wait_ns: 0 }),
+            ev(
+                10,
+                0,
+                TraceEventKind::CoordinatedBegin { epoch: 0, dirty: 0 },
+            ),
+            ev(
+                10,
+                0,
+                TraceEventKind::CoordinatedEnd {
+                    epoch: 0,
+                    copied_bytes: 0,
+                },
+            ),
+        ];
+        let spans = build_spans(&events);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::Coordinated);
+        assert_eq!(spans[0].dur_ns, 0);
+    }
+
+    #[test]
+    fn wall_extends_past_arrival_stamped_stalls() {
+        let events = vec![ev(
+            50,
+            0,
+            TraceEventKind::CommWait {
+                op: "halo".into(),
+                wait_ns: 25,
+            },
+        )];
+        assert_eq!(wall_ns(&events), 75);
+    }
+}

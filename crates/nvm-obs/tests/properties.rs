@@ -1,0 +1,180 @@
+//! Property tests for the blame invariants (ISSUE 8 satellite):
+//!
+//! * critical-path length never exceeds the wall;
+//! * blame shares tile the critical path *exactly* (integer
+//!   nanoseconds, zero rounding drift), whole-run and per-epoch.
+//!
+//! Traces are generated the way the cluster produces them: per-rank
+//! timelines of compute/interference/comm that all join at shared
+//! barriers, with the straggler waiting zero — so the generator
+//! exercises the same consistency the simulator guarantees.
+
+use nvm_obs::{analyze, blame, to_stable_json};
+use nvm_trace::{TraceEvent, TraceEventKind};
+use proptest::prelude::*;
+
+fn ev(t_ns: u64, rank: u64, kind: TraceEventKind) -> TraceEvent {
+    TraceEvent { t_ns, rank, kind }
+}
+
+/// Per-(rank, epoch) phase durations:
+/// `(compute, busy, interference, comm, coordinated)`.
+type EpochWork = (u64, u64, u64, u64, u64);
+
+/// Build a consistent cluster-shaped trace: for each epoch, each rank
+/// computes (with optional hidden pre-copy + interference + comm
+/// stall), joins a barrier, runs a coordinated phase, and joins a
+/// closing barrier.
+fn synthesize(work: &[Vec<EpochWork>]) -> Vec<TraceEvent> {
+    let ranks = work.len();
+    let epochs = work[0].len();
+    let mut clocks = vec![0u64; ranks];
+    let mut buffers: Vec<Vec<TraceEvent>> = vec![Vec::new(); ranks];
+    let mut barrier_id = 0u64;
+    let mut barrier = |clocks: &mut [u64], buffers: &mut [Vec<TraceEvent>]| {
+        barrier_id += 1;
+        let release = clocks.iter().copied().max().unwrap();
+        for (rank, clock) in clocks.iter_mut().enumerate() {
+            let wait_ns = release - *clock;
+            buffers[rank].push(ev(
+                *clock,
+                rank as u64,
+                TraceEventKind::BarrierWait {
+                    id: barrier_id,
+                    wait_ns,
+                },
+            ));
+            *clock = release;
+        }
+    };
+    #[allow(clippy::needless_range_loop)]
+    for epoch in 0..epochs {
+        for rank in 0..ranks {
+            let (compute, busy, interference, comm, _) = work[rank][epoch];
+            let start = clocks[rank];
+            if busy + interference > 0 {
+                buffers[rank].push(ev(
+                    start,
+                    rank as u64,
+                    TraceEventKind::PrecopyEnd {
+                        epoch: epoch as u64,
+                        busy_ns: busy,
+                        interference_ns: interference,
+                    },
+                ));
+            }
+            clocks[rank] += compute + interference;
+            if comm > 0 {
+                buffers[rank].push(ev(
+                    clocks[rank],
+                    rank as u64,
+                    TraceEventKind::CommWait {
+                        op: "halo".into(),
+                        wait_ns: comm,
+                    },
+                ));
+                clocks[rank] += comm;
+            }
+        }
+        barrier(&mut clocks, &mut buffers);
+        for rank in 0..ranks {
+            let (_, _, _, _, coordinated) = work[rank][epoch];
+            let start = clocks[rank];
+            buffers[rank].push(ev(
+                start,
+                rank as u64,
+                TraceEventKind::CoordinatedBegin {
+                    epoch: epoch as u64,
+                    dirty: 1,
+                },
+            ));
+            buffers[rank].push(ev(
+                start + coordinated,
+                rank as u64,
+                TraceEventKind::CoordinatedEnd {
+                    epoch: epoch as u64,
+                    copied_bytes: 64,
+                },
+            ));
+            clocks[rank] += coordinated;
+        }
+        barrier(&mut clocks, &mut buffers);
+    }
+    nvm_trace::merge_ranked(buffers)
+}
+
+const MAX_RANKS: usize = 3;
+const MAX_EPOCHS: usize = 3;
+
+/// Flat pool of phase-duration cells; `shape` trims it to
+/// `ranks x epochs`. (The vendored proptest shim has no
+/// `prop_flat_map`, so dimensions and cells are drawn independently.)
+type Cell = (u64, u64, u64, (u64, u64));
+
+fn cell_strategy() -> impl Strategy<Value = Vec<Cell>> {
+    proptest::collection::vec(
+        (
+            0u64..10_000,
+            0u64..2_000,
+            0u64..1_000,
+            (0u64..1_000, 0u64..3_000),
+        ),
+        MAX_RANKS * MAX_EPOCHS,
+    )
+}
+
+fn shape(ranks: usize, epochs: usize, cells: &[Cell]) -> Vec<Vec<EpochWork>> {
+    (0..ranks)
+        .map(|r| {
+            (0..epochs)
+                .map(|e| {
+                    let (compute, busy, interference, (comm, coordinated)) =
+                        cells[r * MAX_EPOCHS + e];
+                    (compute, busy, interference, comm, coordinated)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn critical_path_never_exceeds_wall(
+        ranks in 1usize..MAX_RANKS + 1,
+        epochs in 1usize..MAX_EPOCHS + 1,
+        cells in cell_strategy(),
+    ) {
+        let events = synthesize(&shape(ranks, epochs, &cells));
+        let report = blame(&events);
+        prop_assert!(report.critical_path_ns <= report.wall_ns);
+    }
+
+    #[test]
+    fn blame_shares_tile_the_critical_path_exactly(
+        ranks in 1usize..MAX_RANKS + 1,
+        epochs in 1usize..MAX_EPOCHS + 1,
+        cells in cell_strategy(),
+    ) {
+        let events = synthesize(&shape(ranks, epochs, &cells));
+        let report = blame(&events);
+        prop_assert_eq!(report.totals.total(), report.critical_path_ns);
+        let per_epoch: u64 = report.epochs.iter().map(|e| e.shares.total()).sum();
+        prop_assert_eq!(per_epoch, report.critical_path_ns);
+        // Fractions live in [0, 1].
+        prop_assert!((0.0..=1.0).contains(&report.exposed_checkpoint_fraction));
+        prop_assert!((0.0..=1.0).contains(&report.hidden_checkpoint_fraction));
+        prop_assert!((0.0..=1.0).contains(&report.overlap_efficiency));
+    }
+
+    #[test]
+    fn analysis_json_is_deterministic(
+        ranks in 1usize..MAX_RANKS + 1,
+        epochs in 1usize..MAX_EPOCHS + 1,
+        cells in cell_strategy(),
+    ) {
+        let events = synthesize(&shape(ranks, epochs, &cells));
+        let a = to_stable_json(&analyze(&events, 1_000));
+        let b = to_stable_json(&analyze(&events, 1_000));
+        prop_assert_eq!(a, b);
+    }
+}

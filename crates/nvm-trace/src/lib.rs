@@ -31,6 +31,18 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
+/// Version of the JSONL trace format written by [`to_jsonl`] and
+/// [`JsonlSink`]. Bumped whenever an event gains a field or a new
+/// variant changes the wire shape in a way old readers cannot ignore.
+/// History:
+///
+/// * **1** — seed format, no header line.
+/// * **2** — header line `{"schema_version":2}`; `PrecopyDrain` gained
+///   `cost_ns`; new kinds `precopy_end`, `barrier_wait`,
+///   `recovery_verify`. Version-1 traces are upgraded on read
+///   (`cost_ns` defaults to 0).
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// What happened. Variants map one-to-one onto the mechanisms the
 /// paper's timeline figures argue about; see DESIGN.md for the
 /// figure-by-figure mapping.
@@ -56,6 +68,22 @@ pub enum TraceEventKind {
         chunk: u64,
         /// Bytes copied.
         bytes: u64,
+        /// Virtual nanoseconds the helper spent on this drain (0 in
+        /// schema-version-1 traces, which predate the field).
+        cost_ns: u64,
+    },
+    /// The background pre-copy window inside a compute phase closed.
+    /// Together with [`TraceEventKind::PrecopyStart`] this bounds the
+    /// *hidden* (overlapped) checkpoint work of the epoch.
+    PrecopyEnd {
+        /// Epoch the window belonged to.
+        epoch: u64,
+        /// Virtual nanoseconds of helper copy work done this window.
+        busy_ns: u64,
+        /// Virtual nanoseconds of compute slowdown charged to the
+        /// application because the helper shared the memory system —
+        /// checkpoint cost that *was* exposed despite the overlap.
+        interference_ns: u64,
     },
     /// A pre-copied chunk was re-dirtied before the checkpoint: the
     /// background copy was wasted work.
@@ -118,6 +146,16 @@ pub enum TraceEventKind {
         /// True if the node was lost (recovery from the remote copy).
         hard: bool,
     },
+    /// A rank reached a cluster barrier and (possibly) waited for the
+    /// stragglers. Emitted at the rank's arrival time; `wait_ns` is 0
+    /// for the straggler itself.
+    BarrierWait {
+        /// Monotonic barrier sequence number within the run, shared by
+        /// all ranks of one barrier — the causal join edge of the DAG.
+        id: u64,
+        /// Virtual nanoseconds this rank stalled before release.
+        wait_ns: u64,
+    },
     /// A rank waited on a communication collective.
     CommWait {
         /// Collective name (`halo`, `allreduce`, `alltoall`, `bcast`).
@@ -163,6 +201,16 @@ pub enum TraceEventKind {
         /// Attempt number that finally succeeded (>= 2).
         attempt: u64,
     },
+    /// One chunk of a recovered rank was verified bit-for-bit against
+    /// the image the recovery source supplied.
+    RecoveryVerify {
+        /// Rank whose chunk was verified.
+        rank: u64,
+        /// Chunk verified.
+        chunk: u64,
+        /// Bytes compared.
+        bytes: u64,
+    },
     /// Hard-failure recovery of a node completed.
     RecoveryEnd {
         /// Node recovered.
@@ -182,6 +230,7 @@ impl TraceEventKind {
             TraceEventKind::ProtectionFault { .. } => "fault",
             TraceEventKind::PrecopyStart { .. } => "precopy_start",
             TraceEventKind::PrecopyDrain { .. } => "precopy_drain",
+            TraceEventKind::PrecopyEnd { .. } => "precopy_end",
             TraceEventKind::PrecopyWaste { .. } => "precopy_waste",
             TraceEventKind::CoordinatedBegin { .. } => "coordinated",
             TraceEventKind::CoordinatedEnd { .. } => "coordinated",
@@ -190,12 +239,14 @@ impl TraceEventKind {
             TraceEventKind::RemoteTransfer { .. } => "remote_transfer",
             TraceEventKind::DeviceCharge { .. } => "device_charge",
             TraceEventKind::RankFailure { .. } => "rank_failure",
+            TraceEventKind::BarrierWait { .. } => "barrier_wait",
             TraceEventKind::CommWait { .. } => "comm_wait",
             TraceEventKind::StoreWrite { .. } => "store_write",
             TraceEventKind::StoreCommit { .. } => "store_commit",
             TraceEventKind::StoreRecovery { .. } => "store_recovery",
             TraceEventKind::RecoveryStart { .. } => "recovery_start",
             TraceEventKind::RecoveryRetry { .. } => "recovery_retry",
+            TraceEventKind::RecoveryVerify { .. } => "recovery_verify",
             TraceEventKind::RecoveryEnd { .. } => "recovery_end",
         }
     }
@@ -299,16 +350,21 @@ impl std::fmt::Debug for JsonlSink {
 }
 
 impl JsonlSink {
-    /// Create (truncate) `path` and stream events to it.
+    /// Create (truncate) `path` and stream events to it, preceded by
+    /// the [`SCHEMA_VERSION`] header line.
     pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
+        let mut writer: Box<dyn std::io::Write + Send> = Box::new(std::io::BufWriter::new(file));
+        writeln!(writer, "{}", jsonl_header())?;
         Ok(JsonlSink {
-            writer: Mutex::new(Box::new(std::io::BufWriter::new(file))),
+            writer: Mutex::new(writer),
         })
     }
 
-    /// Stream events to an arbitrary writer (tests).
-    pub fn from_writer(writer: Box<dyn std::io::Write + Send>) -> Self {
+    /// Stream events to an arbitrary writer (tests). Writes the same
+    /// [`SCHEMA_VERSION`] header line as [`JsonlSink::create`].
+    pub fn from_writer(mut writer: Box<dyn std::io::Write + Send>) -> Self {
+        let _ = writeln!(writer, "{}", jsonl_header());
         JsonlSink {
             writer: Mutex::new(writer),
         }
@@ -415,10 +471,19 @@ pub fn merge_ranked(buffers: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
     merged
 }
 
-/// Render events as JSONL: one compact JSON object per line, in
-/// input order. Byte-deterministic for a given event sequence.
+/// The JSONL header line: a one-key object carrying the schema
+/// version, distinguishable from any event (events always have a
+/// `kind` field).
+fn jsonl_header() -> String {
+    format!("{{\"schema_version\":{SCHEMA_VERSION}}}")
+}
+
+/// Render events as JSONL: the [`SCHEMA_VERSION`] header line, then
+/// one compact JSON object per line, in input order.
+/// Byte-deterministic for a given event sequence.
 pub fn to_jsonl(events: &[TraceEvent]) -> String {
-    let mut out = String::new();
+    let mut out = jsonl_header();
+    out.push('\n');
     for event in events {
         let line = serde_json::to_string(event).expect("trace events always serialize");
         out.push_str(&line);
@@ -427,41 +492,173 @@ pub fn to_jsonl(events: &[TraceEvent]) -> String {
     out
 }
 
-/// Parse JSONL produced by [`to_jsonl`] (or a [`JsonlSink`]).
+/// Why a recorded JSONL trace could not be loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceReadError {
+    /// The trace header declares a schema version newer than this
+    /// reader understands; re-record or upgrade the reader.
+    Schema {
+        /// Version declared by the trace header.
+        found: u32,
+        /// Newest version this reader supports ([`SCHEMA_VERSION`]).
+        supported: u32,
+    },
+    /// A line was not a valid event (JSON syntax or shape).
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceReadError::Schema { found, supported } => write!(
+                f,
+                "trace schema version {found} is newer than supported version {supported}"
+            ),
+            TraceReadError::Parse { line, message } => {
+                write!(f, "trace line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+/// Parse JSONL produced by [`to_jsonl`] (or a [`JsonlSink`]),
+/// validating the schema header. Headerless input is treated as a
+/// legacy version-1 trace and upgraded in place (fields added since
+/// v1 take their documented defaults); a header declaring a version
+/// newer than [`SCHEMA_VERSION`] is rejected with
+/// [`TraceReadError::Schema`].
+pub fn read_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceReadError> {
+    let mut events = Vec::new();
+    let mut saw_header = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parse_err = |e: &dyn std::fmt::Display| TraceReadError::Parse {
+            line: idx + 1,
+            message: e.to_string(),
+        };
+        let value: serde::Value = serde_json::from_str(line).map_err(|e| parse_err(&e))?;
+        if let Some(version) = value.get("schema_version") {
+            let found = match version {
+                serde::Value::Number(n) => n.as_u64(),
+                _ => None,
+            }
+            .ok_or_else(|| parse_err(&"schema_version is not an unsigned integer"))?
+                as u32;
+            if found > SCHEMA_VERSION {
+                return Err(TraceReadError::Schema {
+                    found,
+                    supported: SCHEMA_VERSION,
+                });
+            }
+            saw_header = true;
+            continue;
+        }
+        let mut value = value;
+        upgrade_event_value(&mut value);
+        events.push(serde_json::from_value(&value).map_err(|e| parse_err(&e))?);
+    }
+    let _ = saw_header; // headerless == legacy v1, upgraded above
+    Ok(events)
+}
+
+/// Parse JSONL produced by [`to_jsonl`] (or a [`JsonlSink`]). Lenient
+/// variant of [`read_jsonl`]: header lines are skipped without
+/// version enforcement (use `read_jsonl` to get a typed
+/// [`TraceReadError`] for version mismatches).
 pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
     text.lines()
         .filter(|line| !line.trim().is_empty())
-        .map(serde_json::from_str)
+        .filter_map(|line| {
+            let value: serde::Value = match serde_json::from_str(line) {
+                Ok(v) => v,
+                Err(e) => return Some(Err(e)),
+            };
+            if value.get("schema_version").is_some() {
+                return None;
+            }
+            let mut value = value;
+            upgrade_event_value(&mut value);
+            Some(serde_json::from_value(&value))
+        })
         .collect()
 }
 
+/// Upgrade one event's value tree from any older schema version to
+/// the current one: `PrecopyDrain` records written before
+/// [`SCHEMA_VERSION`] 2 lack `cost_ns`, which defaults to 0.
+fn upgrade_event_value(value: &mut serde::Value) {
+    let serde::Value::Object(event_fields) = value else {
+        return;
+    };
+    let Some((_, kind)) = event_fields.iter_mut().find(|(k, _)| k == "kind") else {
+        return;
+    };
+    let serde::Value::Object(kind_fields) = kind else {
+        return;
+    };
+    let Some((tag, payload)) = kind_fields.iter_mut().next() else {
+        return;
+    };
+    if tag == "PrecopyDrain" {
+        if let serde::Value::Object(fields) = payload {
+            if !fields.iter().any(|(k, _)| k == "cost_ns") {
+                fields.push((
+                    "cost_ns".to_string(),
+                    serde::Value::Number(serde::Number::U64(0)),
+                ));
+            }
+        }
+    }
+}
+
 /// Render events in Chrome `trace_event` JSON-array format, loadable
-/// in `chrome://tracing` or Perfetto. Coordinated phases become
-/// duration begin/end pairs; everything else becomes a thread-scoped
-/// instant event. `pid` is always 0 and `tid` is the rank, so each
-/// rank renders as its own track.
+/// in `chrome://tracing` or Perfetto. Coordinated phases and recovery
+/// ladders become duration begin/end pairs; everything else becomes a
+/// thread-scoped instant event. Normal execution renders on `pid` 0
+/// with one `tid` track per rank; the recovery ladder
+/// (`recovery_start`/`recovery_end` spans with `recovery_retry` and
+/// `recovery_verify` instants nested inside) renders on `pid` 1 with
+/// the same per-rank `tid` lanes, so recoveries appear as their own
+/// process group instead of instants lost in the rank tracks.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
     let mut out = String::from("[");
     for (i, event) in events.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let ph = match event.kind {
-            TraceEventKind::CoordinatedBegin { .. } => "B",
-            TraceEventKind::CoordinatedEnd { .. } => "E",
-            _ => "i",
+        let (ph, pid) = match event.kind {
+            TraceEventKind::CoordinatedBegin { .. } => ("B", 0),
+            TraceEventKind::CoordinatedEnd { .. } => ("E", 0),
+            TraceEventKind::RecoveryStart { .. } => ("B", 1),
+            TraceEventKind::RecoveryEnd { .. } => ("E", 1),
+            TraceEventKind::RecoveryRetry { .. } | TraceEventKind::RecoveryVerify { .. } => {
+                ("i", 1)
+            }
+            _ => ("i", 0),
+        };
+        // Begin/end pairs share one name so viewers pair them on the
+        // (pid, tid) stack, matching how the coordinated span already
+        // uses "coordinated" for both edges.
+        let name = match event.kind {
+            TraceEventKind::RecoveryStart { .. } | TraceEventKind::RecoveryEnd { .. } => "recovery",
+            _ => event.kind.name(),
         };
         let args = kind_args(&event.kind);
         let us_whole = event.t_ns / 1000;
         let us_frac = event.t_ns % 1000;
         write!(
             out,
-            "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":0,\"tid\":{}",
-            event.kind.name(),
-            ph,
-            us_whole,
-            us_frac,
-            event.rank
+            "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":{},\"tid\":{}",
+            name, ph, us_whole, us_frac, pid, event.rank
         )
         .expect("writing to a String cannot fail");
         if ph == "i" {
@@ -516,6 +713,10 @@ pub struct TraceSummary {
     pub recoveries: u64,
     /// Recovery transfer attempts that were lost and retried.
     pub recovery_retries: u64,
+    /// Per-chunk bit-for-bit recovery verifications.
+    pub recovery_verifies: u64,
+    /// Barrier arrivals recorded (one per rank per barrier).
+    pub barrier_waits: u64,
     /// Durable-store chunk writes.
     pub store_writes: u64,
     /// Durable-store epoch commits.
@@ -543,6 +744,8 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             TraceEventKind::RankFailure { .. } => s.rank_failures += 1,
             TraceEventKind::RecoveryEnd { .. } => s.recoveries += 1,
             TraceEventKind::RecoveryRetry { .. } => s.recovery_retries += 1,
+            TraceEventKind::RecoveryVerify { .. } => s.recovery_verifies += 1,
+            TraceEventKind::BarrierWait { .. } => s.barrier_waits += 1,
             TraceEventKind::StoreWrite { .. } => s.store_writes += 1,
             TraceEventKind::StoreCommit { .. } => s.store_commits += 1,
             _ => {}
@@ -623,9 +826,58 @@ mod tests {
             },
         ];
         let text = to_jsonl(&events);
-        assert_eq!(text.lines().count(), 2);
+        // Header line + one line per event.
+        assert_eq!(text.lines().count(), 3);
+        assert_eq!(
+            text.lines().next().unwrap(),
+            format!("{{\"schema_version\":{SCHEMA_VERSION}}}")
+        );
         let back = from_jsonl(&text).unwrap();
         assert_eq!(back, events);
+        // The strict reader accepts its own output too.
+        assert_eq!(read_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn legacy_v1_trace_upgrades_on_read() {
+        // A headerless trace with a pre-`cost_ns` drain record, as a
+        // schema-version-1 writer produced it.
+        let v1 = "{\"t_ns\":5,\"rank\":0,\"kind\":{\"PrecopyDrain\":{\"chunk\":3,\"bytes\":64}}}\n";
+        for events in [read_jsonl(v1).unwrap(), from_jsonl(v1).unwrap()] {
+            assert_eq!(events.len(), 1);
+            assert_eq!(
+                events[0].kind,
+                TraceEventKind::PrecopyDrain {
+                    chunk: 3,
+                    bytes: 64,
+                    cost_ns: 0,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn future_schema_version_is_rejected_with_typed_error() {
+        let future = format!("{{\"schema_version\":{}}}\n", SCHEMA_VERSION + 1);
+        let err = read_jsonl(&future).unwrap_err();
+        assert_eq!(
+            err,
+            TraceReadError::Schema {
+                found: SCHEMA_VERSION + 1,
+                supported: SCHEMA_VERSION,
+            }
+        );
+        // The lenient reader skips the header without enforcing it.
+        assert_eq!(from_jsonl(&future).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn garbage_line_reports_its_line_number() {
+        let text = format!("{}\nnot json\n", super::jsonl_header());
+        match read_jsonl(&text).unwrap_err() {
+            TraceReadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -678,6 +930,60 @@ mod tests {
         assert_eq!(items[1].get("ph").unwrap().as_str(), Some("E"));
         // 1500 ns = 1.500 µs.
         assert!(json.contains("\"ts\":1.500"));
+    }
+
+    #[test]
+    fn recovery_ladder_renders_as_nested_spans_on_pid_1() {
+        let events = vec![
+            TraceEvent {
+                t_ns: 100,
+                rank: 2,
+                kind: TraceEventKind::RecoveryStart {
+                    node: 1,
+                    source: "remote-buddy".into(),
+                },
+            },
+            TraceEvent {
+                t_ns: 150,
+                rank: 2,
+                kind: TraceEventKind::RecoveryVerify {
+                    rank: 2,
+                    chunk: 0,
+                    bytes: 4096,
+                },
+            },
+            TraceEvent {
+                t_ns: 200,
+                rank: 2,
+                kind: TraceEventKind::RecoveryEnd {
+                    node: 1,
+                    bytes: 4096,
+                    verified: 1,
+                },
+            },
+        ];
+        let json = to_chrome_trace(&events);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let items = value.as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        fn num(v: &serde_json::Value, key: &str) -> u64 {
+            match v.get(key) {
+                Some(serde::Value::Number(n)) => n.as_u64().unwrap(),
+                other => panic!("expected number for {key}, got {other:?}"),
+            }
+        }
+        for item in items {
+            // The whole ladder lives on the recovery process lane.
+            assert_eq!(num(item, "pid"), 1);
+            assert_eq!(num(item, "tid"), 2);
+        }
+        // Begin/end share a name so viewers nest the verify instant
+        // inside the span.
+        assert_eq!(items[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(items[0].get("name").unwrap().as_str(), Some("recovery"));
+        assert_eq!(items[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(items[2].get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(items[2].get("name").unwrap().as_str(), Some("recovery"));
     }
 
     #[test]

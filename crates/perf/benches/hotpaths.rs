@@ -10,8 +10,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use nvm_chkpt::PrecopyPolicy;
 use nvm_perf::{
-    buddy_store, calibration_spin, epoch_engine, epoch_step, fold_metrics, merge_traces,
-    merge_traces_sharded, run_tiny_cluster, touched_rank_metrics, trace_buffers,
+    analyze_events, buddy_store, calibration_spin, epoch_engine, epoch_step, fold_metrics,
+    merge_traces, merge_traces_sharded, run_tiny_cluster, touched_rank_metrics, trace_buffers,
+    traced_tiny_events,
 };
 
 fn bench_calibration(c: &mut Criterion) {
@@ -64,6 +65,16 @@ fn bench_merges(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_analyzer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    let events = traced_tiny_events();
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("analyze_tiny_trace", |b| {
+        b.iter(|| black_box(analyze_events(black_box(&events))))
+    });
+    g.finish();
+}
+
 fn bench_buddy_fetch(c: &mut Criterion) {
     let mut g = c.benchmark_group("remote");
     let (store, _, chunk) = buddy_store(256 * 1024);
@@ -80,6 +91,7 @@ criterion_group!(
     bench_engine_epoch,
     bench_rank_simulate,
     bench_merges,
+    bench_analyzer,
     bench_buddy_fetch
 );
 criterion_main!(benches);

@@ -160,6 +160,26 @@ pub fn fold_metrics(ranks: &[Metrics]) -> MetricsRegistry {
     out
 }
 
+/// Merged event stream of a traced tiny-cluster run — the analyzer
+/// benchmark's input. Built once per bench process; the analyzer is
+/// what gets timed, not the simulation.
+pub fn traced_tiny_events() -> Vec<TraceEvent> {
+    Cluster::new(tiny_cluster_config(), |_| {
+        Box::new(SyntheticApp::lammps_scaled(0.01).with_compute(SimDuration::from_millis(500)))
+    })
+    .run(RunOptions::new().with_trace(true))
+    .expect("cluster run")
+    .result
+    .trace
+}
+
+/// One analyzer pass: span reconstruction, critical-path blame, and
+/// the virtual-time rollup over the given stream (what one `b.iter`
+/// of `obs/analyze_tiny_trace` measures).
+pub fn analyze_events(events: &[TraceEvent]) -> nvm_obs::AnalysisReport {
+    nvm_obs::analyze(events, nvm_obs::DEFAULT_BUCKET_NS)
+}
+
 /// Buddy store holding one committed chunk of `chunk_bytes`, as a
 /// surviving node sees its failed buddy's data.
 pub fn buddy_store(chunk_bytes: usize) -> (RemoteStore, Vec<u8>, ChunkId) {
@@ -234,6 +254,17 @@ mod tests {
         let ranks = touched_rank_metrics(8);
         let folded = fold_metrics(&ranks);
         assert_eq!(folded.snapshot().counter("chkpt_faults_total"), 8 * 64);
+    }
+
+    #[test]
+    fn analyzer_fixture_produces_a_full_report() {
+        let events = traced_tiny_events();
+        assert!(!events.is_empty());
+        let report = analyze_events(&events);
+        assert_eq!(report.events, events.len() as u64);
+        assert!(report.blame.critical_path_ns > 0);
+        assert!(report.blame.critical_path_ns <= report.blame.wall_ns);
+        assert!(!report.rollup.series.is_empty());
     }
 
     #[test]

@@ -49,6 +49,27 @@ fn canonical_cpc_events() -> Vec<nvm_trace::TraceEvent> {
 fn canonical_cpc_run_matches_golden_sequence() {
     let events = canonical_cpc_events();
     let chunk = nvm_paging::genid("field").0;
+    // Drain cost and interference come from the device cost model; pin
+    // the observed values as self-consistent rather than hardcoding
+    // device constants: every epoch drains the same 64 KiB chunk, so
+    // every drain (and every pre-copy window) must charge identically.
+    let drain_cost = events
+        .iter()
+        .find_map(|e| match e.kind {
+            TraceEventKind::PrecopyDrain { cost_ns, .. } => Some(cost_ns),
+            _ => None,
+        })
+        .expect("canonical run drains at least once");
+    assert!(drain_cost > 0, "a 64 KiB drain must charge virtual time");
+    let interference = events
+        .iter()
+        .find_map(|e| match e.kind {
+            TraceEventKind::PrecopyEnd {
+                interference_ns, ..
+            } => Some(interference_ns),
+            _ => None,
+        })
+        .expect("canonical run closes its pre-copy windows");
     let golden: Vec<TraceEventKind> = vec![
         // Epoch 0: fresh chunk (no fault — new allocations start
         // writable). CPC pre-copies constantly, so the chunk drains in
@@ -61,6 +82,12 @@ fn canonical_cpc_run_matches_golden_sequence() {
         TraceEventKind::PrecopyDrain {
             chunk,
             bytes: CHUNK as u64,
+            cost_ns: drain_cost,
+        },
+        TraceEventKind::PrecopyEnd {
+            epoch: 0,
+            busy_ns: drain_cost,
+            interference_ns: interference,
         },
         TraceEventKind::CoordinatedBegin { epoch: 0, dirty: 0 },
         TraceEventKind::CommitFlip { chunk, slot: 0 },
@@ -79,6 +106,12 @@ fn canonical_cpc_run_matches_golden_sequence() {
         TraceEventKind::PrecopyDrain {
             chunk,
             bytes: CHUNK as u64,
+            cost_ns: drain_cost,
+        },
+        TraceEventKind::PrecopyEnd {
+            epoch: 1,
+            busy_ns: drain_cost,
+            interference_ns: interference,
         },
         TraceEventKind::CoordinatedBegin { epoch: 1, dirty: 0 },
         TraceEventKind::CommitFlip { chunk, slot: 1 },
@@ -95,6 +128,12 @@ fn canonical_cpc_run_matches_golden_sequence() {
         TraceEventKind::PrecopyDrain {
             chunk,
             bytes: CHUNK as u64,
+            cost_ns: drain_cost,
+        },
+        TraceEventKind::PrecopyEnd {
+            epoch: 2,
+            busy_ns: drain_cost,
+            interference_ns: interference,
         },
         TraceEventKind::CoordinatedBegin { epoch: 2, dirty: 0 },
         TraceEventKind::CommitFlip { chunk, slot: 0 },
