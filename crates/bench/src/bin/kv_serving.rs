@@ -1,0 +1,18 @@
+//! Regenerate the kv-serving policy comparison (`kv_serving.json`).
+//! `--quick` and `--threads N` available; results are bit-identical at
+//! any thread count.
+use nvm_bench::experiments::kv_serving;
+use nvm_bench::report::write_json;
+use nvm_bench::scale::RunArgs;
+
+fn main() {
+    let scale = RunArgs::from_env().remote_scale();
+    let rows = kv_serving::run(&scale);
+    kv_serving::render(&rows).print();
+    println!(
+        "\nexposed checkpoint time on the serving path: dcpcp {:.1} ms vs stop-the-world {:.1} ms",
+        kv_serving::exposed(&rows, "dcpcp") as f64 / 1e6,
+        kv_serving::exposed(&rows, "none") as f64 / 1e6,
+    );
+    write_json("kv_serving", &rows);
+}

@@ -147,6 +147,15 @@ fn main() {
     );
     write_json("blame", &bl);
 
+    let kv = kv_serving::run(&remote_scale);
+    kv_serving::render(&kv).print();
+    println!(
+        "\nexposed checkpoint time on the serving path: dcpcp {:.1} ms vs stop-the-world {:.1} ms",
+        kv_serving::exposed(&kv, "dcpcp") as f64 / 1e6,
+        kv_serving::exposed(&kv, "none") as f64 / 1e6,
+    );
+    write_json("kv_serving", &kv);
+
     let restart = extensions::run_restart();
     let compression = extensions::run_compression();
     let redundancy = extensions::run_redundancy();

@@ -11,6 +11,7 @@ pub mod extensions;
 pub mod fig10;
 pub mod fig4;
 pub mod fig9;
+pub mod kv_serving;
 pub mod local;
 pub mod madbench;
 pub mod metrics;

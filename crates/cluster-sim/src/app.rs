@@ -14,7 +14,7 @@ use nvm_paging::ChunkId;
 
 /// One rank's application behaviour.
 ///
-/// `Send` is required because [`crate::run::ClusterSim`] executes
+/// `Send` is required because [`crate::Cluster`] executes
 /// ranks on a worker pool when [`crate::run::ClusterConfig::threads`]
 /// is greater than one; workloads hold only plain data, so this is
 /// not restrictive in practice.

@@ -64,8 +64,6 @@ pub use reliability::{
     expected_failures, schedule_loses_pair, simulated_unrecoverable_rate,
     unrecoverable_probability, unrecoverable_probability_for, BuddyTopology, ReliabilityParams,
 };
-pub use run::{Cluster, ClusterSim, RunOptions, RunOutcome, RunResult, SimError, SpillReport};
+pub use run::{Cluster, RunOptions, RunOutcome, RunResult, SimError, SpillReport};
 pub use schedule::{Activity, ScheduleTrace, Span};
-#[allow(deprecated)]
-pub use store::recover_store_dir;
 pub use store::RankRecovery;

@@ -1,4 +1,4 @@
-//! Wall-clock/CPU profiling side channel for [`crate::run::ClusterSim`].
+//! Wall-clock/CPU profiling side channel for [`crate::Cluster`].
 //!
 //! [`RunProfile`] is returned *next to* a
 //! [`crate::run::RunResult`] in [`crate::run::RunOutcome`] (request it

@@ -63,7 +63,7 @@ pub enum BuddyTopology {
     /// paper's framing, `N/2` vulnerable pairs.
     DisjointPairs,
     /// Ring: node `n`'s remote copy lives on node `(n+1) % N` — what
-    /// [`crate::run::ClusterSim`] builds. Every adjacent pair is
+    /// [`crate::Cluster`] builds. Every adjacent pair is
     /// vulnerable, so `N` pairs (1 when `N == 2`, where the ring
     /// degenerates to a single mutual pair).
     Ring,
@@ -105,7 +105,7 @@ pub fn unrecoverable_probability_for(p: &ReliabilityParams, topology: BuddyTopol
 
 /// True if `schedule` contains a buddy-pair double hard failure within
 /// one checkpoint interval — the condition under which
-/// [`crate::run::ClusterSim`] declares the run unrecoverable.
+/// [`crate::Cluster`] declares the run unrecoverable.
 pub fn schedule_loses_pair(
     schedule: &FailureSchedule,
     interval: SimDuration,

@@ -1,6 +1,6 @@
 //! The multi-node checkpoint simulator.
 //!
-//! [`ClusterSim`] reproduces the paper's experimental setup: a cluster
+//! [`Cluster`] reproduces the paper's experimental setup: a cluster
 //! of nodes (8 x 12 cores in the paper), one MPI rank per core, each
 //! rank running a [`Workload`] against its own [`CheckpointEngine`].
 //! Ranks advance private virtual clocks in parallel and synchronize at
@@ -22,7 +22,7 @@
 //! Failure handling: soft failures charge the local restart cost and
 //! roll execution back to the last local checkpoint. Hard failures on
 //! a byte-materialized run are recovered for real — the node's devices
-//! are wiped and [`ClusterSim`] walks a restore ladder (the rank's
+//! are wiped and the simulator walks a restore ladder (the rank's
 //! durable containers if a store directory is attached and intact, the
 //! buddy node's remote images fetched chunk-by-chunk over the
 //! interconnect with retry/backoff on link faults and bit-for-bit
@@ -537,8 +537,8 @@ impl NodeDevices {
     }
 }
 
-/// The simulator.
-pub struct ClusterSim {
+/// The simulator behind [`Cluster::run`].
+pub(crate) struct ClusterSim {
     config: ClusterConfig,
     options: RunOptions,
     ranks: Vec<Vec<Rank>>, // [node][rank]
@@ -557,16 +557,6 @@ pub struct ClusterSim {
 }
 
 impl ClusterSim {
-    /// Build a cluster; `factory(global_rank)` creates each rank's
-    /// workload.
-    #[deprecated(note = "use Cluster::new(config, factory).run(RunOptions)")]
-    pub fn new(
-        config: ClusterConfig,
-        factory: impl FnMut(u64) -> Box<dyn Workload>,
-    ) -> Result<Self, SimError> {
-        Self::with_options(config, RunOptions::default(), factory)
-    }
-
     fn io_err(e: std::io::Error) -> SimError {
         SimError::Engine(EngineError::from(PersistError::Io(e)))
     }
@@ -766,25 +756,6 @@ impl ClusterSim {
             r.clock.advance_to(t);
         }
         t
-    }
-
-    /// Run to completion.
-    #[deprecated(note = "use Cluster::new(config, factory).run(RunOptions)")]
-    pub fn run(self) -> Result<RunResult, SimError> {
-        self.execute().map(|outcome| outcome.result)
-    }
-
-    /// Run to completion, also returning the wall/CPU timing
-    /// decomposition.
-    #[deprecated(
-        note = "use Cluster::new(config, factory).run(RunOptions::new().with_profile(true))"
-    )]
-    pub fn run_profiled(mut self) -> Result<(RunResult, RunProfile), SimError> {
-        self.options.profile = true;
-        self.execute().map(|outcome| {
-            let profile = outcome.profile.expect("profile was requested");
-            (outcome.result, profile)
-        })
     }
 
     /// The run loop. The [`RunProfile`] and [`SpillReport`] travel
@@ -2368,25 +2339,6 @@ mod tests {
         assert_eq!(p.merge_busy_ns.len(), small_config().shard_count());
         // Synthetic materialization has no byte images to spill.
         assert!(out.spill.is_none());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_still_run_and_agree_with_the_new_surface() {
-        let old = ClusterSim::new(small_config(), factory)
-            .unwrap()
-            .run()
-            .unwrap();
-        let new = run_cfg(small_config()).unwrap();
-        assert_eq!(
-            serde_json::to_string(&old).unwrap(),
-            serde_json::to_string(&new).unwrap()
-        );
-        let (_, profile) = ClusterSim::new(small_config(), factory)
-            .unwrap()
-            .run_profiled()
-            .unwrap();
-        assert_eq!(profile.threads, 1);
     }
 
     #[test]

@@ -29,14 +29,10 @@ pub struct RankRecovery {
 }
 
 /// Scan `dir` for `rank_<n>.store` container files, recover each, and
-/// return the recoveries sorted by rank. Files that do not match the
-/// naming scheme are ignored; a matching file that fails to open or
-/// whose superblock names a different process is an error.
-#[deprecated(note = "use Cluster::recover_dir")]
-pub fn recover_store_dir(dir: &Path) -> Result<Vec<RankRecovery>, PersistError> {
-    scan_store_dir(dir)
-}
-
+/// return the recoveries sorted by rank (the engine behind
+/// `Cluster::recover_dir`). Files that do not match the naming scheme
+/// are ignored; a matching file that fails to open or whose superblock
+/// names a different process is an error.
 pub(crate) fn scan_store_dir(dir: &Path) -> Result<Vec<RankRecovery>, PersistError> {
     let mut found: Vec<(u64, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir).map_err(PersistError::Io)? {
@@ -502,10 +498,6 @@ mod tests {
             store.commit(0).unwrap();
         }
         let err = Cluster::recover_dir(tmp.path()).unwrap_err();
-        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
-        // The deprecated free function still routes to the same scan.
-        #[allow(deprecated)]
-        let err = recover_store_dir(tmp.path()).unwrap_err();
         assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
     }
 }

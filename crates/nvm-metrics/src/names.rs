@@ -49,6 +49,35 @@ pub const STORE_RECOVERIES_TOTAL: &str = "store_recoveries_total";
 /// Torn/invalid trailing records detected and discarded by recovery.
 pub const STORE_TORN_WRITES_TOTAL: &str = "store_torn_writes_total";
 
+// --- Key-value serving layer (`nvm-kv`, per rank, merged in rank
+// order) ---
+
+/// Upserts applied.
+pub const KV_UPSERTS_TOTAL: &str = "kv_upserts_total";
+/// Point reads served.
+pub const KV_READS_TOTAL: &str = "kv_reads_total";
+/// Read-modify-writes applied.
+pub const KV_RMWS_TOTAL: &str = "kv_rmws_total";
+/// Deletes (tombstones) applied.
+pub const KV_DELETES_TOTAL: &str = "kv_deletes_total";
+/// Point reads that found no live record.
+pub const KV_READ_MISSES_TOTAL: &str = "kv_read_misses_total";
+/// Record-log bytes appended (headers + keys + values + padding).
+pub const KV_LOG_APPENDED_BYTES_TOTAL: &str = "kv_log_appended_bytes_total";
+/// Hash-index growths (table doubled and rehashed).
+pub const KV_INDEX_SPLITS_TOTAL: &str = "kv_index_splits_total";
+/// CPR checkpoint tokens taken.
+pub const KV_CHECKPOINT_TOKENS_TOTAL: &str = "kv_checkpoint_tokens_total";
+/// Log records replayed during recovery to a token.
+pub const KV_RECOVERY_REPLAYED_TOTAL: &str = "kv_recovery_replayed_total";
+/// Acknowledged-after-token records dropped during recovery.
+pub const KV_RECOVERY_DROPPED_TOTAL: &str = "kv_recovery_dropped_total";
+/// Distribution of per-operation serving latency (virtual ns).
+pub const KV_OP_NS: &str = "kv_op_ns";
+/// Distribution of checkpoint-token publication latency (virtual ns)
+/// — the serving-path cost of taking a non-blocking checkpoint.
+pub const KV_CHECKPOINT_TOKEN_NS: &str = "kv_checkpoint_token_ns";
+
 // --- Cluster coordinator ---
 
 /// Distribution of per-rank communication-stall duration (ns).

@@ -46,6 +46,14 @@ pub mod series {
     /// Durable-store staged bytes per bucket (spill/store residency
     /// growth).
     pub const STORE_WRITE_BYTES: &str = "store_write_bytes";
+    /// Key-value serving operations per bucket (only populated when
+    /// the kv store traces individual ops).
+    pub const KV_OPS: &str = "kv_ops";
+    /// CPR checkpoint tokens published per bucket.
+    pub const KV_TOKENS: &str = "kv_tokens";
+    /// Record-log bytes covered by tokens published in the bucket —
+    /// how much serving state each token makes recoverable.
+    pub const KV_TOKEN_LOG_BYTES: &str = "kv_token_log_bytes";
 }
 
 /// Interval-bucketed time series over `SimTime`.
@@ -109,6 +117,11 @@ impl Rollup {
                 self.add(series::STORE_WRITE_BYTES, t, *bytes);
             }
             TraceEventKind::RecoveryEnd { bytes, .. } => self.add(series::LINK_BYTES, t, *bytes),
+            TraceEventKind::KvOp { .. } => self.add(series::KV_OPS, t, 1),
+            TraceEventKind::KvCheckpointEnd { log_bytes, .. } => {
+                self.add(series::KV_TOKENS, t, 1);
+                self.add(series::KV_TOKEN_LOG_BYTES, t, *log_bytes);
+            }
             _ => {}
         }
     }
@@ -218,6 +231,35 @@ mod tests {
         let mut reversed = Rollup::from_events(&rank1, 1_000);
         reversed.merge_from(&Rollup::from_events(&rank0, 1_000));
         assert_eq!(reversed, whole);
+    }
+
+    #[test]
+    fn kv_events_land_in_their_series() {
+        let events = vec![
+            ev(
+                100,
+                0,
+                TraceEventKind::KvOp {
+                    op: "upsert".to_string(),
+                    session: 0,
+                    serial: 1,
+                    hit: true,
+                },
+            ),
+            ev(
+                1_200,
+                0,
+                TraceEventKind::KvCheckpointEnd {
+                    token: 1,
+                    log_bytes: 4096,
+                    sessions: 1,
+                },
+            ),
+        ];
+        let rollup = Rollup::from_events(&events, 1_000);
+        assert_eq!(rollup.series[series::KV_OPS], vec![1]);
+        assert_eq!(rollup.series[series::KV_TOKENS], vec![0, 1]);
+        assert_eq!(rollup.series[series::KV_TOKEN_LOG_BYTES], vec![0, 4096]);
     }
 
     #[test]

@@ -41,7 +41,11 @@ use serde::{Deserialize, Serialize};
 ///   `cost_ns`; new kinds `precopy_end`, `barrier_wait`,
 ///   `recovery_verify`. Version-1 traces are upgraded on read
 ///   (`cost_ns` defaults to 0).
-pub const SCHEMA_VERSION: u32 = 2;
+/// * **3** — new kinds `kv_op`, `kv_checkpoint_begin`,
+///   `kv_checkpoint_end`, `kv_recovery_seek` emitted by the `nvm-kv`
+///   serving layer. No existing kind changed shape, so version-2
+///   traces load unmodified.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// What happened. Variants map one-to-one onto the mechanisms the
 /// paper's timeline figures argue about; see DESIGN.md for the
@@ -220,6 +224,48 @@ pub enum TraceEventKind {
         /// Chunks verified bit-for-bit against the recovered images.
         verified: u64,
     },
+    /// One key-value operation completed on a serving session
+    /// (emitted only when the kv store is configured to trace
+    /// individual operations — high-volume runs keep this off).
+    KvOp {
+        /// Operation name (`upsert`, `read`, `rmw`, `delete`).
+        op: String,
+        /// Serving session that issued the operation.
+        session: u64,
+        /// The session's serial number for this operation.
+        serial: u64,
+        /// Whether the key existed (reads/rmw/deletes; always true
+        /// for upserts).
+        hit: bool,
+    },
+    /// A CPR-style checkpoint token was opened: per-session serialized
+    /// prefixes are marked while sessions keep serving.
+    KvCheckpointBegin {
+        /// Monotone checkpoint token id.
+        token: u64,
+    },
+    /// The checkpoint token's metadata (log prefix + session
+    /// watermarks) finished writing; durability rides the engine's
+    /// next coordinated commit.
+    KvCheckpointEnd {
+        /// Token id.
+        token: u64,
+        /// Record-log bytes covered by the token.
+        log_bytes: u64,
+        /// Serving sessions whose watermarks the token captured.
+        sessions: u64,
+    },
+    /// Recovery sought the kv store back to its last committed
+    /// checkpoint token, replaying the committed log prefix and
+    /// dropping acknowledged-after-token records.
+    KvRecoverySeek {
+        /// Token recovered to.
+        token: u64,
+        /// Log records replayed into the rebuilt index.
+        replayed: u64,
+        /// Records found past the token's log prefix and dropped.
+        dropped: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -248,6 +294,10 @@ impl TraceEventKind {
             TraceEventKind::RecoveryRetry { .. } => "recovery_retry",
             TraceEventKind::RecoveryVerify { .. } => "recovery_verify",
             TraceEventKind::RecoveryEnd { .. } => "recovery_end",
+            TraceEventKind::KvOp { .. } => "kv_op",
+            TraceEventKind::KvCheckpointBegin { .. } => "kv_checkpoint_begin",
+            TraceEventKind::KvCheckpointEnd { .. } => "kv_checkpoint_end",
+            TraceEventKind::KvRecoverySeek { .. } => "kv_recovery_seek",
         }
     }
 }
@@ -721,6 +771,13 @@ pub struct TraceSummary {
     pub store_writes: u64,
     /// Durable-store epoch commits.
     pub store_commits: u64,
+    /// Key-value operations (only present when per-op kv tracing was
+    /// on).
+    pub kv_ops: u64,
+    /// CPR checkpoint tokens completed by the kv serving layer.
+    pub kv_checkpoints: u64,
+    /// Kv recovery seeks (rebuilds to a committed token).
+    pub kv_recovery_seeks: u64,
 }
 
 /// Summarize an event stream.
@@ -748,6 +805,9 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             TraceEventKind::BarrierWait { .. } => s.barrier_waits += 1,
             TraceEventKind::StoreWrite { .. } => s.store_writes += 1,
             TraceEventKind::StoreCommit { .. } => s.store_commits += 1,
+            TraceEventKind::KvOp { .. } => s.kv_ops += 1,
+            TraceEventKind::KvCheckpointEnd { .. } => s.kv_checkpoints += 1,
+            TraceEventKind::KvRecoverySeek { .. } => s.kv_recovery_seeks += 1,
             _ => {}
         }
     }
@@ -984,6 +1044,71 @@ mod tests {
         assert_eq!(items[1].get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(items[2].get("ph").unwrap().as_str(), Some("E"));
         assert_eq!(items[2].get("name").unwrap().as_str(), Some("recovery"));
+    }
+
+    #[test]
+    fn kv_events_round_trip_and_summarize() {
+        let events = vec![
+            TraceEvent {
+                t_ns: 1,
+                rank: 0,
+                kind: TraceEventKind::KvOp {
+                    op: "upsert".into(),
+                    session: 2,
+                    serial: 7,
+                    hit: true,
+                },
+            },
+            TraceEvent {
+                t_ns: 2,
+                rank: 0,
+                kind: TraceEventKind::KvCheckpointBegin { token: 1 },
+            },
+            TraceEvent {
+                t_ns: 3,
+                rank: 0,
+                kind: TraceEventKind::KvCheckpointEnd {
+                    token: 1,
+                    log_bytes: 96,
+                    sessions: 2,
+                },
+            },
+            TraceEvent {
+                t_ns: 4,
+                rank: 0,
+                kind: TraceEventKind::KvRecoverySeek {
+                    token: 1,
+                    replayed: 3,
+                    dropped: 1,
+                },
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(read_jsonl(&text).unwrap(), events);
+        let s = summarize(&events);
+        assert_eq!(s.kv_ops, 1);
+        assert_eq!(s.kv_checkpoints, 1);
+        assert_eq!(s.kv_recovery_seeks, 1);
+        assert_eq!(events[0].kind.name(), "kv_op");
+        assert_eq!(events[3].kind.name(), "kv_recovery_seek");
+    }
+
+    #[test]
+    fn version_2_traces_still_load() {
+        // A v2 trace (pre-kv kinds): header declares 2, events carry
+        // every v2 field. Loads without upgrades.
+        let v2 = "{\"schema_version\":2}\n\
+                  {\"t_ns\":5,\"rank\":0,\"kind\":{\"PrecopyDrain\":{\"chunk\":3,\"bytes\":64,\"cost_ns\":9}}}\n";
+        let events = read_jsonl(v2).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            TraceEventKind::PrecopyDrain {
+                chunk: 3,
+                bytes: 64,
+                cost_ns: 9,
+            }
+        );
     }
 
     #[test]

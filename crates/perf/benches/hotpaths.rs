@@ -11,8 +11,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use nvm_chkpt::PrecopyPolicy;
 use nvm_perf::{
     analyze_events, buddy_store, calibration_spin, epoch_engine, epoch_step, fold_metrics,
-    merge_traces, merge_traces_sharded, run_tiny_cluster, touched_rank_metrics, trace_buffers,
-    traced_tiny_events,
+    kv_drain_step, kv_mix_step, kv_store, merge_traces, merge_traces_sharded, run_tiny_cluster,
+    touched_rank_metrics, trace_buffers, traced_tiny_events, KV_MIX_OPS,
 };
 
 fn bench_calibration(c: &mut Criterion) {
@@ -75,6 +75,39 @@ fn bench_analyzer(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kv(c: &mut Criterion) {
+    // The record log is append-only, so a store cannot be stepped
+    // forever: recycle it for a fresh preloaded one before the log
+    // outgrows the engine's chunk capacity. The rebuild lands inside
+    // the timed region once every few thousand iterations, which is
+    // noise next to the per-op cost being gated.
+    const LOG_CAP_BYTES: u64 = 8 << 20;
+    let mut g = c.benchmark_group("kv");
+    g.throughput(Throughput::Elements(KV_MIX_OPS));
+    g.bench_function("upsert_read_mix", |b| {
+        let mut fixture = kv_store();
+        b.iter(|| {
+            if fixture.1.stats().log_bytes > LOG_CAP_BYTES {
+                fixture = kv_store();
+            }
+            let (e, kv, session) = &mut fixture;
+            black_box(kv_mix_step(e, kv, *session))
+        })
+    });
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("checkpoint_drain", |b| {
+        let mut fixture = kv_store();
+        b.iter(|| {
+            if fixture.1.stats().log_bytes > LOG_CAP_BYTES {
+                fixture = kv_store();
+            }
+            let (e, kv, session) = &mut fixture;
+            black_box(kv_drain_step(e, kv, *session))
+        })
+    });
+    g.finish();
+}
+
 fn bench_buddy_fetch(c: &mut Criterion) {
     let mut g = c.benchmark_group("remote");
     let (store, _, chunk) = buddy_store(256 * 1024);
@@ -92,6 +125,7 @@ criterion_group!(
     bench_rank_simulate,
     bench_merges,
     bench_analyzer,
+    bench_kv,
     bench_buddy_fetch
 );
 criterion_main!(benches);

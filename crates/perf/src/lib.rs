@@ -23,6 +23,7 @@ use cluster_sim::{Cluster, ClusterConfig, RunOptions, RunResult};
 use hpc_workloads::SyntheticApp;
 use nvm_chkpt::{CheckpointEngine, ChunkId, EngineConfig, Materialization, PrecopyPolicy};
 use nvm_emu::{MemoryDevice, SimDuration, VirtualClock};
+use nvm_kv::{KvConfig, KvStore, SessionId};
 use nvm_metrics::{Metrics, MetricsRegistry};
 use nvm_trace::{merge_ranked, TraceEvent, TraceEventKind};
 use rdma_sim::RemoteStore;
@@ -194,6 +195,89 @@ pub fn buddy_store(chunk_bytes: usize) -> (RemoteStore, Vec<u8>, ChunkId) {
     (store, data, chunk)
 }
 
+/// Keys preloaded into the [`kv_store`] fixture.
+pub const KV_BENCH_KEYS: u64 = 256;
+
+/// Operations one [`kv_mix_step`] issues (half upserts, half reads).
+pub const KV_MIX_OPS: u64 = 64;
+
+/// Fixed-width bench key for slot `k`.
+fn kv_bench_key(k: u64) -> [u8; 12] {
+    let mut key = *b"bench-kv\0\0\0\0";
+    key[8..].copy_from_slice(&(k as u32).to_le_bytes());
+    key
+}
+
+/// Byte-materialized engine (the serving configuration: checksums
+/// on) carrying a [`KvStore`] preloaded with [`KV_BENCH_KEYS`]
+/// 64-byte values under one session. The record log only grows, so
+/// the kv benchmarks build a fresh fixture per iteration instead of
+/// stepping one store forever.
+pub fn kv_store() -> (CheckpointEngine, KvStore, SessionId) {
+    let dram = MemoryDevice::dram(64 * MB);
+    let nvm = MemoryDevice::pcm(64 * MB);
+    let mut e = CheckpointEngine::new(
+        0,
+        &dram,
+        &nvm,
+        24 * MB,
+        VirtualClock::new(),
+        EngineConfig::default(),
+    )
+    .expect("engine");
+    let mut kv = KvStore::create(
+        &mut e,
+        KvConfig {
+            initial_index_slots: 1024,
+            segment_bytes: 256 * 1024,
+            max_sessions: 4,
+            trace_ops: false,
+        },
+    )
+    .expect("store");
+    let session = kv.new_session().expect("session");
+    let mut value = [0u8; 64];
+    for k in 0..KV_BENCH_KEYS {
+        value[..8].copy_from_slice(&k.to_le_bytes());
+        kv.upsert(&mut e, session, &kv_bench_key(k), &value)
+            .expect("preload");
+    }
+    (e, kv, session)
+}
+
+/// [`KV_MIX_OPS`] alternating upserts and reads over the preloaded
+/// keys (what one `b.iter` of `kv/upsert_read_mix` measures).
+/// Returns the read-hit count so the optimizer cannot drop the loop.
+pub fn kv_mix_step(e: &mut CheckpointEngine, kv: &mut KvStore, session: SessionId) -> u64 {
+    let mut hits = 0;
+    let mut value = [0u8; 64];
+    for i in 0..KV_MIX_OPS {
+        let key = kv_bench_key(i % KV_BENCH_KEYS);
+        if i % 2 == 0 {
+            value[..8].copy_from_slice(&i.to_le_bytes());
+            kv.upsert(e, session, &key, &value).expect("upsert");
+        } else if kv.read(e, session, &key).expect("read").is_some() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Dirty a handful of keys, publish a CPR token, then drain it
+/// through a full engine checkpoint (what one `b.iter` of
+/// `kv/checkpoint_drain` measures). Returns the bytes the drain
+/// moved to NVM.
+pub fn kv_drain_step(e: &mut CheckpointEngine, kv: &mut KvStore, session: SessionId) -> u64 {
+    let mut value = [0u8; 64];
+    for i in 0..8u64 {
+        value[..8].copy_from_slice(&i.to_le_bytes());
+        kv.upsert(e, session, &kv_bench_key(i), &value)
+            .expect("upsert");
+    }
+    kv.checkpoint(e).expect("token");
+    e.nvchkptall().expect("checkpoint").total_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +349,16 @@ mod tests {
         assert!(report.blame.critical_path_ns > 0);
         assert!(report.blame.critical_path_ns <= report.blame.wall_ns);
         assert!(!report.rollup.series.is_empty());
+    }
+
+    #[test]
+    fn kv_fixture_serves_and_drains() {
+        let (mut e, mut kv, session) = kv_store();
+        let hits = kv_mix_step(&mut e, &mut kv, session);
+        assert_eq!(hits, KV_MIX_OPS / 2, "every preloaded key should hit");
+        let drained = kv_drain_step(&mut e, &mut kv, session);
+        assert!(drained > 0, "the drain moved no bytes to NVM");
+        assert_eq!(kv.stats().token, 1);
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //! * [`madbench`] — the compute/checkpoint alternation kernel used for
 //!   the ramdisk-vs-memory motivation experiment;
 //! * [`memprobe`] — parallel memcpy bandwidth probe (model + real
-//!   measurement).
+//!   measurement);
+//! * [`kv`] — YCSB-ish zipfian serving traffic against the `nvm-kv`
+//!   layer ([`kv::KvServingWorkload`]), for evaluating checkpoint
+//!   policies under load instead of iterate-barrier loops.
 
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod chunks;
+pub mod kv;
 pub mod madbench;
 pub mod memprobe;
 
@@ -27,5 +31,6 @@ pub use apps::{ModPattern, SyntheticApp};
 pub use chunks::{
     generate_profile, measured_distribution, ChunkDistribution, ChunkSpec, SizeBucket,
 };
+pub use kv::{splitmix64, KvMix, KvOpKind, KvServingConfig, KvServingWorkload, Zipfian};
 pub use madbench::{run_madbench, CheckpointSink, MadBenchConfig, MadBenchResult};
 pub use memprobe::{measure_parallel_memcpy, model_curve, MemcpyPoint};

@@ -1,0 +1,392 @@
+//! Crash-consistency sweep for the `nvm-kv` serving layer.
+//!
+//! The kv store's durability claim composes two protocols: CPR tokens
+//! (a `checkpoint()` publishes token + log prefix + session
+//! watermarks into the `kv_meta` chunk) and the engine's container
+//! mirror (`nvchkptall` makes the chunk state durable with the
+//! shadow-slot + atomic-record protocol). The invariant under test:
+//!
+//! > After a crash at *any* media-operation boundary — clean cut,
+//! > dropped unsynced writes, or a torn in-flight write — recovering
+//! > the container, restarting the engine from it, and running
+//! > `KvStore::recover` yields exactly the contents at the last
+//! > *durably committed* CPR token, bit-for-bit. Operations
+//! > acknowledged after that token (even ones physically in the
+//! > durable log) are dropped; tokens published but never committed
+//! > by an `nvchkptall` roll back to the previous durable token.
+//!
+//! The scripted run exercises overwrite, delete (tombstone), rmw,
+//! back-to-back tokens, and post-token writes that must be dropped;
+//! the proptest half drives random op sequences through random crash
+//! points.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use nvm_chkpt::{CheckpointEngine, EngineConfig, RestartStrategy};
+use nvm_emu::{MemoryDevice, VirtualClock};
+use nvm_kv::{KvConfig, KvStore, SessionId};
+use nvm_store::{
+    surviving_image, Container, CrashMode, CrashPoint, Media, OpRecord, PersistError,
+    RecordingMedia,
+};
+use nvm_trace::Tracer;
+use proptest::prelude::*;
+
+const MB: usize = 1 << 20;
+const PID: u64 = 42;
+const CONTAINER_CAP: usize = 8 * MB;
+
+/// [`RecordingMedia`] behind a shared handle: the container (boxed
+/// into the engine as its persistence backend) writes through one
+/// clone while the harness reads the op log from the other after the
+/// run.
+#[derive(Clone, Default)]
+struct SharedMedia(Arc<Mutex<RecordingMedia>>);
+
+impl SharedMedia {
+    fn ops(&self) -> Vec<OpRecord> {
+        self.0.lock().unwrap().ops().to_vec()
+    }
+}
+
+impl Media for SharedMedia {
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), PersistError> {
+        self.0.lock().unwrap().write_at(offset, data)
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, PersistError> {
+        self.0.lock().unwrap().read_at(offset, buf)
+    }
+
+    fn fsync(&mut self) -> Result<(), PersistError> {
+        self.0.lock().unwrap().fsync()
+    }
+
+    fn len(&self) -> u64 {
+        self.0.lock().unwrap().len()
+    }
+}
+
+fn kv_cfg() -> KvConfig {
+    KvConfig {
+        initial_index_slots: 16,
+        segment_bytes: 4096,
+        max_sessions: 4,
+        trace_ops: false,
+    }
+}
+
+fn mk_engine() -> CheckpointEngine {
+    let dram = MemoryDevice::dram(64 * MB);
+    let nvm = MemoryDevice::pcm(64 * MB);
+    CheckpointEngine::new(
+        PID,
+        &dram,
+        &nvm,
+        16 * MB,
+        VirtualClock::new(),
+        EngineConfig::default(),
+    )
+    .unwrap()
+}
+
+/// Oracle entry: what a crash recovering this engine commit must find.
+#[derive(Clone, Debug)]
+struct KvMark {
+    /// Media ops recorded once `nvchkptall` returned. The commit
+    /// record write is op `ops_after - 2`, its fsync `ops_after - 1`
+    /// (same container protocol the nvm-store sweep pins down).
+    ops_after: usize,
+    /// CPR token this commit made durable (0 = none published yet).
+    token: u64,
+    /// Exact kv contents at that token.
+    expected: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+/// Which mark a crash at `point` must recover to (None = virgin).
+/// Same durability rule as `nvm_store::expected_mark`: under
+/// Keep/Torn the commit is durable once the crash lands at or after
+/// its fsync op (tearing the record itself fails its CRC and is
+/// discarded); under Drop only once the fsync completed.
+fn expected_kv_mark<'a>(marks: &'a [KvMark], point: &CrashPoint) -> Option<&'a KvMark> {
+    marks
+        .iter()
+        .filter(|m| match point.mode {
+            CrashMode::Keep | CrashMode::Torn { .. } => point.at_op >= m.ops_after - 1,
+            CrashMode::Drop => point.at_op >= m.ops_after,
+        })
+        .max_by_key(|m| m.ops_after)
+}
+
+/// A serving run whose media ops were recorded for crash replay.
+struct KvCrashRun {
+    ops: Vec<OpRecord>,
+    marks: Vec<KvMark>,
+}
+
+/// Harness state for scripting a run: engine + store + the oracle
+/// bookkeeping (contents snapshot at the last published token).
+struct Driver {
+    engine: CheckpointEngine,
+    kv: KvStore,
+    session: SessionId,
+    media: SharedMedia,
+    /// (token, contents) at the last `checkpoint()` call.
+    at_token: (u64, BTreeMap<Vec<u8>, Vec<u8>>),
+    marks: Vec<KvMark>,
+}
+
+impl Driver {
+    fn new() -> Driver {
+        let mut engine = mk_engine();
+        let media = SharedMedia::default();
+        engine.set_persistence(Box::new(
+            Container::open(media.clone(), PID, CONTAINER_CAP).unwrap(),
+        ));
+        let mut kv = KvStore::create(&mut engine, kv_cfg()).unwrap();
+        let session = kv.new_session().unwrap();
+        Driver {
+            engine,
+            kv,
+            session,
+            media,
+            at_token: (0, BTreeMap::new()),
+            marks: Vec::new(),
+        }
+    }
+
+    fn upsert(&mut self, key: &[u8], value: &[u8]) {
+        self.kv
+            .upsert(&mut self.engine, self.session, key, value)
+            .unwrap();
+    }
+
+    fn delete(&mut self, key: &[u8]) {
+        self.kv.delete(&mut self.engine, self.session, key).unwrap();
+    }
+
+    fn rmw_bump(&mut self, key: &[u8]) {
+        self.kv
+            .rmw(&mut self.engine, self.session, key, |old| {
+                let mut v = old.map_or_else(|| vec![0u8; 8], <[u8]>::to_vec);
+                if v.len() >= 8 {
+                    let c = u64::from_le_bytes(v[..8].try_into().unwrap());
+                    v[..8].copy_from_slice(&c.wrapping_add(1).to_le_bytes());
+                }
+                v
+            })
+            .unwrap();
+    }
+
+    /// Publish a CPR token and snapshot the oracle contents at it.
+    fn token(&mut self) {
+        let t = self.kv.checkpoint(&mut self.engine).unwrap();
+        let contents = self.kv.contents(&mut self.engine).unwrap();
+        self.at_token = (t.token, contents);
+    }
+
+    /// Engine commit: the last published token becomes crash-durable.
+    fn commit(&mut self) {
+        self.engine.nvchkptall().unwrap();
+        self.marks.push(KvMark {
+            ops_after: self.media.ops().len(),
+            token: self.at_token.0,
+            expected: self.at_token.1.clone(),
+        });
+    }
+
+    fn finish(self) -> KvCrashRun {
+        KvCrashRun {
+            ops: self.media.ops(),
+            marks: self.marks,
+        }
+    }
+}
+
+/// The scripted run: overwrites, tombstones, rmw, back-to-back
+/// tokens, and acknowledged-after-token writes at every commit.
+fn scripted_run() -> KvCrashRun {
+    let mut d = Driver::new();
+    // Commit with no token published: recovery must land on an empty
+    // store even though the upserts are physically in the durable log.
+    d.upsert(b"k0", b"v0-a");
+    d.upsert(b"k1", b"v1-a");
+    d.commit();
+    // Token 1: overwrite + growth past one index probe chain.
+    d.upsert(b"k0", b"v0-b");
+    for i in 0..20u8 {
+        d.upsert(format!("bulk{i:02}").as_bytes(), &[i; 48]);
+    }
+    d.token();
+    // Acknowledged after token 1 — durable in the log, must be
+    // dropped by recovery at this commit.
+    d.upsert(b"k2", b"post-token");
+    d.delete(b"k1");
+    d.commit();
+    // Tokens 2 and 3 back to back (watermarks move, contents do
+    // between, nothing after), with a tombstone and an rmw inside.
+    d.delete(b"bulk00");
+    d.rmw_bump(b"k0");
+    d.token();
+    d.token();
+    d.upsert(b"k3", b"never-committed");
+    d.commit();
+    d.finish()
+}
+
+/// Crash `run` at `point`, recover container → engine → kv store, and
+/// assert the recovered contents are exactly the oracle's.
+fn check_kv_crash_point(run: &KvCrashRun, point: &CrashPoint) {
+    let image = surviving_image(&run.ops, point);
+    let store = Container::open(image, PID, CONTAINER_CAP)
+        .unwrap_or_else(|e| panic!("container recovery must never error at {point:?}: {e}"));
+    let dram = MemoryDevice::dram(64 * MB);
+    let nvm = MemoryDevice::pcm(64 * MB);
+    let (mut engine, _report) = CheckpointEngine::restart_from_store(
+        &dram,
+        &nvm,
+        CONTAINER_CAP,
+        VirtualClock::new(),
+        EngineConfig::default(),
+        RestartStrategy::Eager,
+        Box::new(store),
+        Tracer::disabled(),
+    )
+    .unwrap_or_else(|e| panic!("engine restart must never error at {point:?}: {e}"));
+    let (mut kv, rec) = KvStore::recover(&mut engine, kv_cfg())
+        .unwrap_or_else(|e| panic!("kv recovery must never error at {point:?}: {e}"));
+    let got = kv.contents(&mut engine).unwrap();
+    match expected_kv_mark(&run.marks, point) {
+        None => {
+            assert_eq!(
+                rec.token, 0,
+                "virgin recovery must report token 0 at {point:?}"
+            );
+            assert!(
+                got.is_empty(),
+                "virgin recovery must serve an empty store at {point:?}, got {} keys",
+                got.len()
+            );
+        }
+        Some(mark) => {
+            assert_eq!(
+                rec.token, mark.token,
+                "recovered token mismatch at {point:?}"
+            );
+            assert_eq!(
+                got, mark.expected,
+                "recovered contents not bit-for-bit at {point:?}"
+            );
+        }
+    }
+    // Serving must continue on the recovered store.
+    let s = kv.new_session().unwrap();
+    kv.upsert(&mut engine, s, b"post-crash", b"serving")
+        .unwrap();
+    assert_eq!(
+        kv.read(&mut engine, s, b"post-crash").unwrap().unwrap(),
+        b"serving"
+    );
+}
+
+#[test]
+fn scripted_run_reaches_every_token_outcome() {
+    // The sweep is only meaningful if crash points actually land in
+    // every durable token's window plus the virgin state.
+    let run = scripted_run();
+    assert_eq!(run.marks.len(), 3);
+    assert_eq!(
+        run.marks.iter().map(|m| m.token).collect::<Vec<_>>(),
+        vec![0, 1, 3]
+    );
+    let mut seen = std::collections::BTreeSet::new();
+    for at_op in 0..=run.ops.len() {
+        for mode in [CrashMode::Keep, CrashMode::Drop] {
+            let p = CrashPoint { at_op, mode };
+            seen.insert(expected_kv_mark(&run.marks, &p).map(|m| m.token));
+        }
+    }
+    for outcome in [None, Some(0), Some(1), Some(3)] {
+        assert!(
+            seen.contains(&outcome),
+            "no crash point reaches {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn kv_sweep_over_every_operation_boundary() {
+    let run = scripted_run();
+    let points = nvm_store::enumerate_points(&run.ops);
+    assert!(
+        points.len() > 2 * run.ops.len(),
+        "sweep unexpectedly sparse: {} points for {} ops",
+        points.len(),
+        run.ops.len()
+    );
+    for point in &points {
+        check_kv_crash_point(&run, point);
+    }
+}
+
+/// One random op against the driver.
+#[derive(Clone, Debug)]
+enum ScriptOp {
+    Upsert { key: u8, val: u8 },
+    Delete { key: u8 },
+    Rmw { key: u8 },
+    Token,
+    Commit,
+}
+
+fn script_op() -> impl Strategy<Value = ScriptOp> {
+    prop_oneof![
+        (0u8..12, 0u8..128).prop_map(|(key, val)| ScriptOp::Upsert { key, val }),
+        (0u8..12, 128u8..255).prop_map(|(key, val)| ScriptOp::Upsert { key, val }),
+        (0u8..12).prop_map(|key| ScriptOp::Delete { key }),
+        (0u8..12).prop_map(|key| ScriptOp::Rmw { key }),
+        Just(ScriptOp::Token),
+        Just(ScriptOp::Commit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_op_sequences_recover_to_their_oracle(
+        script in proptest::collection::vec(script_op(), 1..40),
+        at_op_sel in any::<u64>(),
+        mode_sel in 0u8..3,
+        keep in 0usize..8192,
+    ) {
+        let mut d = Driver::new();
+        for op in &script {
+            match op {
+                ScriptOp::Upsert { key, val } => {
+                    d.upsert(format!("key{key:02}").as_bytes(), &[*val; 24]);
+                }
+                ScriptOp::Delete { key } => d.delete(format!("key{key:02}").as_bytes()),
+                ScriptOp::Rmw { key } => d.rmw_bump(format!("key{key:02}").as_bytes()),
+                ScriptOp::Token => d.token(),
+                ScriptOp::Commit => d.commit(),
+            }
+        }
+        // Always end on token + commit so the tail of the script is
+        // reachable as a recovery outcome too.
+        d.token();
+        d.commit();
+        let run = d.finish();
+        let at_op = (at_op_sel % (run.ops.len() as u64 + 1)) as usize;
+        let mode = match mode_sel {
+            0 => CrashMode::Keep,
+            1 => CrashMode::Drop,
+            _ if matches!(run.ops.get(at_op), Some(OpRecord::Write { .. })) => {
+                CrashMode::Torn { keep }
+            }
+            _ => CrashMode::Keep,
+        };
+        check_kv_crash_point(&run, &CrashPoint { at_op, mode });
+    }
+}
